@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive part — building the world and curating the dataset — runs
+once per session through the cached experiment context; each benchmark then
+times the analysis that regenerates one table or figure, prints the rows
+(the same rows the paper reports), and writes them under
+``benchmarks/output/`` for EXPERIMENTS.md.
+
+Scale knobs: ``REPRO_BENCH_SCALE`` (default 0.12 of the paper's 18k block
+groups) and ``REPRO_BENCH_MIN_SAMPLES`` (default 10 addresses per block
+group; the paper floors at 30).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentResult, get_context
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The session-wide world + curated dataset."""
+    return get_context()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print an experiment result and persist it to benchmarks/output/."""
+
+    def _emit(result: ExperimentResult) -> ExperimentResult:
+        print()
+        print(result.render())
+        result.write(OUTPUT_DIR)
+        return result
+
+    return _emit

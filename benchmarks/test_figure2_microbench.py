@@ -1,0 +1,24 @@
+"""Bench E-F2: regenerate Figure 2 (BQT hit rate and query times)."""
+
+from repro.experiments import figure2
+
+
+def test_figure2_microbench(benchmark, context, emit):
+    result = benchmark.pedantic(
+        figure2.run, args=(context,), rounds=2, iterations=1
+    )
+    emit(result)
+    hit_rates = {row[0]: row[2] for row in result.rows}
+    medians = {row[0]: row[3] for row in result.rows}
+
+    # Figure 2a: every ISP above ~80%; Cox highest, Spectrum lowest.
+    assert all(rate > 78.0 for rate in hit_rates.values()), hit_rates
+    assert max(hit_rates, key=hit_rates.get) == "cox"
+    assert min(hit_rates, key=hit_rates.get) == "spectrum"
+    assert hit_rates["cox"] > 94.0
+    assert hit_rates["spectrum"] < 86.0
+
+    # Figure 2b: Frontier fastest median, Spectrum slowest (~4x apart).
+    assert min(medians, key=medians.get) == "frontier"
+    assert max(medians, key=medians.get) == "spectrum"
+    assert medians["spectrum"] > 2.5 * medians["frontier"]

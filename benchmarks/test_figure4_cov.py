@@ -1,0 +1,26 @@
+"""Bench E-F4: regenerate Figure 4 (within-block-group CoV of cv)."""
+
+from repro.experiments import figure4
+
+
+def test_figure4_cov(benchmark, context, emit):
+    result = benchmark.pedantic(
+        figure4.run, args=(context,), rounds=2, iterations=1
+    )
+    emit(result)
+    p90 = {row[0]: row[3] for row in result.rows}
+    maximum = {row[0]: row[5] for row in result.rows}
+
+    # The long tail belongs to the mixed DSL+fiber telcos.
+    for telco in ("att", "centurylink"):
+        assert maximum[telco] > 0.5, f"{telco} should have a CoV tail"
+
+    # Cable ISPs offer uniform plans within a block group: negligible CoV.
+    for cable in ("cox", "xfinity"):
+        if cable in p90:
+            assert p90[cable] < 0.15, f"{cable} CoV should be near zero"
+
+    # Telco tails exceed cable tails.
+    cable_max = max(maximum.get(c, 0.0) for c in ("cox", "xfinity", "spectrum"))
+    telco_max = max(maximum[t] for t in ("att", "centurylink"))
+    assert telco_max > cable_max

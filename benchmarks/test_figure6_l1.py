@@ -1,0 +1,25 @@
+"""Bench E-F6: regenerate Figure 6 (L1 plan-vector distances)."""
+
+from repro.experiments import figure6
+
+
+def test_figure6_l1(benchmark, context, emit):
+    result = benchmark.pedantic(
+        figure6.run, args=(context,), rounds=2, iterations=1
+    )
+    emit(result)
+    medians = {row[0]: row[2] for row in result.rows}
+
+    # Xfinity is location-invariant: its city plan vectors coincide.
+    assert medians["xfinity"] < 0.15
+
+    # Cable providers (ex-Xfinity) are more diverse across cities than the
+    # most uniform DSL/fiber provider — the Figure 6 ordering, with
+    # Spectrum/Cox at the diverse end.
+    cable_median = max(medians.get("spectrum", 0.0), medians.get("cox", 0.0))
+    assert cable_median > medians["att"], (
+        f"cable should out-diversify AT&T: {medians}"
+    )
+    # All distances are valid L1 values on probability vectors.
+    for row in result.rows:
+        assert 0.0 <= row[2] <= 2.0

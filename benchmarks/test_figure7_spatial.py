@@ -1,0 +1,25 @@
+"""Bench E-F7: regenerate Figure 7 (New Orleans spatial maps)."""
+
+from repro.experiments import figure7
+
+
+def test_figure7_spatial(benchmark, context, emit):
+    result = benchmark.pedantic(
+        figure7.run, args=(context,), rounds=2, iterations=1
+    )
+    emit(result)
+    rows = {row[0]: row for row in result.rows}
+    assert {"att", "cox", "best_of_pair"} <= set(rows)
+
+    att, cox, best = rows["att"], rows["cox"], rows["best_of_pair"]
+
+    # Cox offers better coverage and a higher median cv than AT&T.
+    assert cox[1] >= att[1], "Cox coverage should dominate AT&T's"
+    assert cox[2] > att[2], "Cox median cv should exceed AT&T's"
+
+    # The best-of-pair surface looks like the dominant cable provider.
+    assert abs(best[2] - cox[2]) <= abs(best[2] - att[2])
+
+    # All three surfaces are spatially clustered (positive Moran's I).
+    for name in ("att", "cox", "best_of_pair"):
+        assert rows[name][4] > 0.05, f"{name} surface should be clustered"

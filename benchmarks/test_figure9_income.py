@@ -1,0 +1,37 @@
+"""Bench E-F9: regenerate Figure 9 (fiber deployment vs income)."""
+
+from repro.experiments import figure9
+
+
+def test_figure9_income(benchmark, context, emit):
+    result = benchmark.pedantic(
+        figure9.run, args=(context,), rounds=2, iterations=1
+    )
+    emit(result)
+    rows = {(row[0], row[1]): row for row in result.rows}
+
+    # Figure 9a — New Orleans, AT&T: high-income block groups see more
+    # fiber (paper: 41% low vs 57% high).
+    nola = rows.get(("att", "new-orleans(9a)"))
+    assert nola is not None
+    low_pct, high_pct = nola[3], nola[4]
+    assert high_pct > low_pct, "fiber should favor high-income block groups"
+    assert 25.0 <= low_pct <= 60.0
+    assert 45.0 <= high_pct <= 80.0
+
+    # Figure 9b — across cities: AT&T and Verizon favor high income in a
+    # clear majority of cities; Frontier does not.
+    att = rows[("att", "all-cities(9b)")]
+    positive, total = att[6].split(" ")[0].split("/")
+    assert int(positive) >= 0.6 * int(total), att
+
+    if ("verizon", "all-cities(9b)") in rows:
+        vz = rows[("verizon", "all-cities(9b)")]
+        assert vz[5] > 0, "Verizon median gap should be positive"
+
+    if ("frontier", "all-cities(9b)") in rows:
+        frontier = rows[("frontier", "all-cities(9b)")]
+        att_gap = att[5]
+        assert frontier[5] < att_gap, (
+            "Frontier should be the outlier with the weakest income gap"
+        )

@@ -1,0 +1,25 @@
+"""Bench E-X1: the Section 4.1 scaling experiment (workers sweep)."""
+
+import numpy as np
+
+from repro.experiments import scaling
+
+
+def test_scaling_workers(benchmark, context, emit):
+    result = benchmark.pedantic(
+        scaling.run, args=(context,), rounds=1, iterations=1
+    )
+    emit(result)
+    medians = {row[0]: row[2] for row in result.rows}
+    walls = {row[0]: row[4] for row in result.rows}
+
+    # Paper: per-query response time is flat from 1 to 200 containers.
+    values = np.asarray(list(medians.values()))
+    assert values.max() / values.min() < 1.3, (
+        f"response times should be flat across fleet sizes: {medians}"
+    )
+
+    # Parallelism must actually pay: wall-clock falls monotonically.
+    assert walls[1] > walls[50] > walls[100] >= walls[200] * 0.8
+    speedup_50 = next(row[5] for row in result.rows if row[0] == 50)
+    assert speedup_50 > 20.0

@@ -1,0 +1,30 @@
+"""Bench E-T1: regenerate Table 1 (plan overview per ISP)."""
+
+from repro.experiments import table1
+from repro.isp.plans import PLAN_CATALOGS
+
+# Plan counts printed in Table 1 of the paper.
+PAPER_PLAN_COUNTS = {
+    "att": 11,
+    "verizon": 4,
+    "centurylink": 8,
+    "frontier": 2,
+    "spectrum": 5,
+    "cox": 6,
+    "xfinity": 3,
+}
+
+
+def test_table1_plans(benchmark, context, emit):
+    result = benchmark.pedantic(
+        table1.run, args=(context,), rounds=2, iterations=1
+    )
+    emit(result)
+    counts = {row[0]: row[1] for row in result.rows}
+    assert counts == PAPER_PLAN_COUNTS
+    # Every ISP observed in the dataset must have an observed cv range.
+    observed = {row[0]: row[6] for row in result.rows}
+    assert all(value != "-" for value in observed.values())
+    # Cox's top observed carriage value is the study maximum (~28.6).
+    catalog_max = max(p.cv for p in PLAN_CATALOGS["cox"])
+    assert abs(catalog_max - 28.57) < 0.1

@@ -1,0 +1,38 @@
+"""Bench E-T2: regenerate Table 2 (dataset coverage per city)."""
+
+from repro.experiments import table2
+from repro.geo.cities import CITIES
+
+# Per-ISP city counts from the Table 2 bullet-matrix totals.
+PAPER_ISP_CITY_COUNTS = {
+    "att": 14,
+    "verizon": 5,
+    "centurylink": 7,
+    "frontier": 4,
+    "spectrum": 13,
+    "cox": 8,
+    "xfinity": 6,
+}
+
+
+def test_table2_coverage(benchmark, context, emit):
+    result = benchmark.pedantic(
+        table2.run, args=(context,), rounds=2, iterations=1
+    )
+    emit(result)
+    city_rows = [row for row in result.rows if row[0] != "TOTAL"]
+    assert len(city_rows) == 30, "all thirty study cities must be covered"
+
+    counts = {isp: 0 for isp in PAPER_ISP_CITY_COUNTS}
+    for row in city_rows:
+        for isp in row[6].split("+"):
+            counts[isp] += 1
+    assert counts == PAPER_ISP_CITY_COUNTS
+
+    total = result.row_for("TOTAL")
+    scale = context.world.config.scale
+    expected_bgs = 18083 * scale
+    assert 0.5 * expected_bgs <= total[2] <= 1.5 * expected_bgs
+    # Registry-level checks against the paper's printed totals.
+    assert sum(c.block_groups for c in CITIES.values()) == 18083
+    assert sum(c.addresses_thousands for c in CITIES.values()) == 837

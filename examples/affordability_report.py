@@ -1,0 +1,62 @@
+"""Policy-style affordability report for a chosen set of cities.
+
+Demonstrates the dataset's policymaker-facing use (the paper's motivating
+application): for each city, summarize who gets good and bad deals —
+carriage-value quartiles, the share of block groups stuck below
+2 Mbps/$, and the income tilt of fiber availability.
+
+Run:  python examples/affordability_report.py [city ...]
+"""
+
+import sys
+
+
+from repro.analysis import city_affordability_report
+from repro.dataset import CurationConfig, CurationPipeline, SamplingConfig
+from repro.world import WorldConfig, build_world
+
+DEFAULT_CITIES = ("new-orleans", "cleveland", "seattle")
+BAD_DEAL_CV = 2.0  # Mbps/$ — below this, 100 Mbps costs over $50/month.
+
+
+def city_report(world, dataset, city: str) -> None:
+    info = world.city(city).info
+    print(f"=== {info.display_name}, {info.state} "
+          f"(median income ${info.median_income_thousands}k) ===")
+    incomes = {
+        r.geoid: r.median_household_income for r in world.city(city).acs
+    }
+    report = city_affordability_report(dataset, city, incomes)
+    for summary in report.isps:
+        q25, q50, q75 = summary.cv_quartiles
+        print(f"  {summary.isp:12s} block groups: "
+              f"{summary.n_block_groups:4d}   "
+              f"cv quartiles: {q25:5.2f} / {q50:5.2f} / {q75:5.2f} Mbps/$   "
+              f"bad deals (<{BAD_DEAL_CV} Mbps/$): "
+              f"{100 * summary.bad_deal_share:.0f}%")
+    if report.fiber_competition_share is not None:
+        print(f"  fiber competition reaches "
+              f"{100 * report.fiber_competition_share:.0f}% of block groups")
+    if report.income_fiber_gap_points is not None:
+        gap = report.income_fiber_gap_points
+        tilt = ("favors high-income" if gap > 5
+                else "favors low-income" if gap < -5 else "income-neutral")
+        print(f"  fiber-income gap: {gap:+.1f} points -> {tilt}")
+    print()
+
+
+def main() -> None:
+    cities = tuple(sys.argv[1:]) or DEFAULT_CITIES
+    world = build_world(WorldConfig(seed=42, scale=0.25, cities=cities))
+    pipeline = CurationPipeline(
+        world,
+        CurationConfig(sampling=SamplingConfig(fraction=0.10, min_samples=12)),
+    )
+    dataset = pipeline.curate()
+    print(f"curated {len(dataset)} observations across {len(cities)} cities\n")
+    for city in cities:
+        city_report(world, dataset, city)
+
+
+if __name__ == "__main__":
+    main()

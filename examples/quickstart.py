@@ -1,0 +1,44 @@
+"""Quickstart: query broadband plans for a handful of street addresses.
+
+Builds a small simulated world (New Orleans only), points BQT at the
+simulated ISP BATs, and queries a few addresses from the residential feed —
+the single-client version of the paper's methodology.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BroadbandQueryTool, WorldConfig, build_world
+
+
+def main() -> None:
+    # A 10%-scale New Orleans: ~44 census block groups, ~5k addresses.
+    world = build_world(WorldConfig(seed=42, scale=0.10, cities=("new-orleans",)))
+    city = world.city("new-orleans")
+    print(f"built {city.info.display_name}: {len(city.grid)} block groups, "
+          f"{len(city.book.feed)} feed addresses")
+    print(f"active ISPs: {', '.join(city.info.isps)}\n")
+
+    tool = BroadbandQueryTool(world.transport, client_ip="73.20.14.2", seed=1)
+
+    for entry in city.book.feed[:5]:
+        print(f"address: {entry.line()}  [feed noise: {entry.noise_class}]")
+        for isp in city.info.isps:
+            result = tool.query_address(isp, entry)
+            if result.status == "plans":
+                best = max(result.plans, key=lambda p: p.cv)
+                print(
+                    f"  {isp:12s} {len(result.plans)} plans; best: "
+                    f"{best.name!r} {best.download_mbps:g}/"
+                    f"{best.upload_mbps:g} Mbps at ${best.monthly_price:.2f}"
+                    f" -> cv {best.cv:.2f} Mbps/$"
+                    f"  ({result.elapsed_seconds:.0f}s, steps: "
+                    f"{'>'.join(result.steps)})"
+                )
+            else:
+                print(f"  {isp:12s} {result.status} "
+                      f"({result.elapsed_seconds:.0f}s)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

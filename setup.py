@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so the package can be installed in offline
+environments that lack the ``wheel`` package (``python setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Decoding the Divide: Analyzing Disparities in "
+        "Broadband Plans Offered by Major US ISPs' (SIGCOMM 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

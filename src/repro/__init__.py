@@ -1,0 +1,61 @@
+"""repro — reproduction of "Decoding the Divide: Analyzing Disparities in
+Broadband Plans Offered by Major US ISPs" (SIGCOMM 2023).
+
+The package rebuilds the paper's entire measurement system in pure Python:
+
+* :mod:`repro.core` — **BQT**, the broadband-plan querying tool (browser
+  automation, template detection, suggestion matching, plan parsing,
+  container-fleet orchestration);
+* :mod:`repro.bat` — simulated per-ISP Broadband Availability Tool web
+  services with realistic multi-step workflows and anti-scraping
+  safeguards (the stand-in for the live ISP websites);
+* :mod:`repro.net` — HTTP substrate with in-process and real-TCP
+  transports, virtual clocks and a residential proxy pool;
+* :mod:`repro.geo`, :mod:`repro.addresses`, :mod:`repro.isp` — synthetic
+  census geography, a Zillow-like noisy address feed, and ground-truth ISP
+  deployments/plans;
+* :mod:`repro.dataset` — the stratified-sampling curation pipeline;
+* :mod:`repro.analysis` — carriage values, Moran's I, one-tailed KS
+  competition tests, income splits;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import build_world, WorldConfig, BroadbandQueryTool
+
+    world = build_world(WorldConfig(scale=0.05, cities=("new-orleans",)))
+    entry = world.city("new-orleans").book.feed[0]
+    tool = BroadbandQueryTool(world.transport, client_ip="73.20.1.2")
+    result = tool.query_address("cox", entry)
+    print(result.status, result.best_cv)
+"""
+
+from .core.bqt import BroadbandQueryTool
+from .core.orchestrator import ContainerFleet
+from .core.workflow import QueryResult, QueryStatus
+from .dataset.container import BroadbandDataset
+from .dataset.curation import CurationConfig, CurationPipeline
+from .dataset.sampling import SamplingConfig
+from .errors import ReproError
+from .isp.plans import Plan, carriage_value
+from .world import World, WorldConfig, build_world
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BroadbandQueryTool",
+    "ContainerFleet",
+    "QueryResult",
+    "QueryStatus",
+    "CurationConfig",
+    "CurationPipeline",
+    "BroadbandDataset",
+    "SamplingConfig",
+    "ReproError",
+    "Plan",
+    "carriage_value",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "__version__",
+]

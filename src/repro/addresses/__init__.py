@@ -1,0 +1,40 @@
+"""Synthetic residential street-address substrate (Zillow/ZTRAX stand-in)."""
+
+from .database import AddressIndex, build_city_index
+from .generator import (
+    AddressGeneratorConfig,
+    CityAddressBook,
+    generate_city_addresses,
+)
+from .model import Address, format_address_line
+from .noise import NoiseClass, NoiseConfig, NoiseModel, NoisyAddress
+from .normalize import (
+    SUFFIX_ABBREVIATIONS,
+    UNIT_DESIGNATORS,
+    canonical_key,
+    normalize_street_line,
+    normalize_token,
+    normalize_zip,
+    tokenize,
+)
+
+__all__ = [
+    "AddressIndex",
+    "build_city_index",
+    "AddressGeneratorConfig",
+    "CityAddressBook",
+    "generate_city_addresses",
+    "Address",
+    "format_address_line",
+    "NoiseClass",
+    "NoiseConfig",
+    "NoiseModel",
+    "NoisyAddress",
+    "SUFFIX_ABBREVIATIONS",
+    "UNIT_DESIGNATORS",
+    "canonical_key",
+    "normalize_street_line",
+    "normalize_token",
+    "normalize_zip",
+    "tokenize",
+]

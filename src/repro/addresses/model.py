@@ -1,0 +1,100 @@
+"""Street-address data model.
+
+Addresses flow through the system in two forms:
+
+* **Canonical records** — what an ISP's serviceability database holds.
+  These are fully normalized and unique.
+* **Feed strings** — what the Zillow-like residential feed provides.  These
+  are crowdsourced and noisy: inconsistent abbreviations, typos, missing
+  apartment units, occasionally wrong ZIP codes.
+
+The mismatch between the two is precisely what makes the paper's querying
+problem hard (Section 3.1), so the model keeps both representations
+first-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Address", "format_address_line"]
+
+
+@dataclass(frozen=True)
+class Address:
+    """A single street address.
+
+    Attributes:
+        house_number: Numeric house/building number.
+        street_name: Street base name, e.g. ``"Magnolia"``.
+        street_suffix: Full (unabbreviated) suffix, e.g. ``"Avenue"``.
+        unit: Unit designator for multi-dwelling units, e.g. ``"Apt 3"``;
+            ``None`` for single-family addresses.
+        city: Canonical city key, e.g. ``"new-orleans"``.
+        state: Two-letter state code.
+        zip_code: Five-digit ZIP code string.
+        block_group: Geoid of the containing census block group.
+    """
+
+    house_number: int
+    street_name: str
+    street_suffix: str
+    unit: str | None
+    city: str
+    state: str
+    zip_code: str
+    block_group: str
+
+    @property
+    def is_multi_dwelling(self) -> bool:
+        return self.unit is not None
+
+    def line(self) -> str:
+        """Render the full single-line form of the address."""
+        return format_address_line(
+            self.house_number,
+            self.street_name,
+            self.street_suffix,
+            self.unit,
+            self.city,
+            self.state,
+            self.zip_code,
+        )
+
+    def street_line(self) -> str:
+        """Render only the street part (no city/state/zip)."""
+        parts = [str(self.house_number), self.street_name, self.street_suffix]
+        if self.unit:
+            parts.append(self.unit)
+        return " ".join(parts)
+
+    def without_unit(self) -> "Address":
+        """The building-level address (unit stripped)."""
+        if self.unit is None:
+            return self
+        return replace(self, unit=None)
+
+    def with_unit(self, unit: str) -> "Address":
+        return replace(self, unit=unit)
+
+
+def format_address_line(
+    house_number: int,
+    street_name: str,
+    street_suffix: str,
+    unit: str | None,
+    city: str,
+    state: str,
+    zip_code: str,
+) -> str:
+    """Format address components into the standard single-line form.
+
+    >>> format_address_line(12, "Magnolia", "Avenue", "Apt 3",
+    ...                     "new-orleans", "LA", "70112")
+    '12 Magnolia Avenue Apt 3, New Orleans, LA 70112'
+    """
+    display_city = " ".join(word.capitalize() for word in city.split("-"))
+    street = f"{house_number} {street_name} {street_suffix}"
+    if unit:
+        street = f"{street} {unit}"
+    return f"{street}, {display_city}, {state} {zip_code}"

@@ -1,0 +1,139 @@
+"""USPS-style street-address normalization.
+
+The paper notes that "for the same street address, some databases might use
+'Ave' instead of Avenue and 'CT' or 'Ct' instead of Court" (Section 3.3).
+This module implements the normalization layer both sides use: the ISP-side
+BAT normalizes incoming queries before matching against its serviceability
+database, and BQT normalizes suggestion strings before string-matching them
+against the input address.
+
+The abbreviation table follows USPS Publication 28, Appendix C (the common
+subset covering the suffixes our street generator produces).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "SUFFIX_ABBREVIATIONS",
+    "UNIT_DESIGNATORS",
+    "normalize_token",
+    "normalize_street_line",
+    "normalize_zip",
+    "canonical_key",
+    "tokenize",
+]
+
+# Full suffix name -> USPS standard abbreviation.
+SUFFIX_ABBREVIATIONS: dict[str, str] = {
+    "ALLEY": "ALY",
+    "AVENUE": "AVE",
+    "BOULEVARD": "BLVD",
+    "CIRCLE": "CIR",
+    "COURT": "CT",
+    "DRIVE": "DR",
+    "EXPRESSWAY": "EXPY",
+    "HIGHWAY": "HWY",
+    "LANE": "LN",
+    "PARKWAY": "PKWY",
+    "PLACE": "PL",
+    "ROAD": "RD",
+    "SQUARE": "SQ",
+    "STREET": "ST",
+    "TERRACE": "TER",
+    "TRAIL": "TRL",
+    "WAY": "WAY",
+}
+
+# Every spelling (full, standard, and common variants) -> standard form.
+_SUFFIX_VARIANTS: dict[str, str] = {}
+for _full, _abbr in SUFFIX_ABBREVIATIONS.items():
+    _SUFFIX_VARIANTS[_full] = _abbr
+    _SUFFIX_VARIANTS[_abbr] = _abbr
+_SUFFIX_VARIANTS.update(
+    {
+        "AV": "AVE",
+        "AVE.": "AVE",
+        "BOUL": "BLVD",
+        "BLVD.": "BLVD",
+        "CRT": "CT",
+        "CT.": "CT",
+        "DRV": "DR",
+        "DR.": "DR",
+        "LA": "LN",
+        "LN.": "LN",
+        "PKY": "PKWY",
+        "RD.": "RD",
+        "STR": "ST",
+        "ST.": "ST",
+        "TERR": "TER",
+        "TR": "TRL",
+    }
+)
+
+# Unit designator variants -> standard form.
+UNIT_DESIGNATORS: dict[str, str] = {
+    "APARTMENT": "APT",
+    "APT": "APT",
+    "APT.": "APT",
+    "#": "APT",
+    "UNIT": "UNIT",
+    "STE": "STE",
+    "SUITE": "STE",
+    "FL": "FL",
+    "FLOOR": "FL",
+}
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_PUNCT_RE = re.compile(r"[.,;]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Upper-case and split a street line into clean tokens.
+
+    >>> tokenize("12  Magnolia Ave., Apt 3")
+    ['12', 'MAGNOLIA', 'AVE', 'APT', '3']
+    """
+    cleaned = _PUNCT_RE.sub(" ", text.upper())
+    # Keep "#3" recognizable as a unit marker by splitting the hash off.
+    cleaned = cleaned.replace("#", " # ")
+    return [token for token in _WHITESPACE_RE.split(cleaned) if token]
+
+
+def normalize_token(token: str) -> str:
+    """Normalize one token: suffix and unit-designator variants collapse."""
+    upper = token.upper().rstrip(".")
+    if upper in _SUFFIX_VARIANTS:
+        return _SUFFIX_VARIANTS[upper]
+    if upper in UNIT_DESIGNATORS:
+        return UNIT_DESIGNATORS[upper]
+    return upper
+
+
+def normalize_street_line(line: str) -> str:
+    """Normalize a full street line to its canonical comparable form.
+
+    >>> normalize_street_line("12 Magnolia Avenue Apt 3")
+    '12 MAGNOLIA AVE APT 3'
+    >>> normalize_street_line("12 magnolia ave. #3")
+    '12 MAGNOLIA AVE APT 3'
+    """
+    return " ".join(normalize_token(token) for token in tokenize(line))
+
+
+def normalize_zip(zip_code: str) -> str:
+    """Reduce a ZIP or ZIP+4 to its five-digit base."""
+    digits = re.sub(r"\D", "", zip_code)
+    return digits[:5]
+
+
+def canonical_key(street_line: str, zip_code: str) -> str:
+    """The key under which an address is stored and matched.
+
+    Two spellings of the same address (modulo USPS abbreviation variants,
+    case, and punctuation) map to the same key.  Typos, wrong house numbers
+    and missing units do NOT — those are the noise BQT must handle through
+    the suggestion workflow.
+    """
+    return f"{normalize_street_line(street_line)}|{normalize_zip(zip_code)}"

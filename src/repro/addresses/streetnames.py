@@ -1,0 +1,31 @@
+"""Street-name corpora for the synthetic address generator."""
+
+from __future__ import annotations
+
+__all__ = ["BASE_NAMES", "SUFFIXES", "UNIT_STYLES"]
+
+# Common US street base names (tree species, presidents, ordinals, local
+# flavor).  Uniqueness within a ZIP is enforced by the generator, which
+# samples (base, suffix) pairs without replacement.
+BASE_NAMES: tuple[str, ...] = (
+    "Magnolia", "Oak", "Maple", "Cedar", "Pine", "Elm", "Walnut", "Willow",
+    "Birch", "Chestnut", "Sycamore", "Juniper", "Cypress", "Laurel",
+    "Washington", "Jefferson", "Lincoln", "Madison", "Monroe", "Jackson",
+    "Adams", "Franklin", "Grant", "Harrison", "Tyler", "Hayes",
+    "First", "Second", "Third", "Fourth", "Fifth", "Sixth", "Seventh",
+    "Eighth", "Ninth", "Tenth", "Eleventh", "Twelfth",
+    "Main", "Market", "Church", "Mill", "Bridge", "Canal", "River", "Lake",
+    "Hill", "Valley", "Meadow", "Prairie", "Sunset", "Highland", "Fairview",
+    "Ridge", "Park", "Grove", "Garden", "Orchard", "Vineyard", "Harbor",
+    "Bayou", "Pelican", "Mockingbird", "Cardinal", "Sparrow", "Falcon",
+    "Armstrong", "Bienville", "Carondelet", "Dauphine", "Esplanade",
+    "Frenchmen", "Galvez", "Iberville", "Josephine", "Kerlerec",
+)
+
+SUFFIXES: tuple[str, ...] = (
+    "Street", "Avenue", "Boulevard", "Drive", "Court", "Lane", "Road",
+    "Place", "Circle", "Terrace", "Parkway", "Way", "Trail", "Square",
+)
+
+# Unit naming styles for multi-dwelling buildings.
+UNIT_STYLES: tuple[str, ...] = ("Apt {n}", "Unit {n}", "Apt {letter}")

@@ -1,0 +1,75 @@
+"""Statistical analysis layer: carriage values, spatial statistics,
+competition tests, and socioeconomic splits."""
+
+from .competition import (
+    CONCLUSION_DUOPOLY_BETTER,
+    CONCLUSION_MONOPOLY_BETTER,
+    CONCLUSION_NO_DIFFERENCE,
+    CityCompetitionReport,
+    CompetitionTest,
+    ModeSamples,
+    competition_analysis,
+    infer_market_modes,
+)
+from .income import (
+    FiberIncomeSplit,
+    fiber_by_income,
+    fiber_income_gaps,
+    income_classes,
+)
+from .kstest import (
+    ALTERNATIVE_GREATER,
+    ALTERNATIVE_LESS,
+    KsResult,
+    ks_one_tailed,
+)
+from .moran import MoranResult, morans_i
+from .reporting import (
+    CityAffordabilityReport,
+    IspSummary,
+    city_affordability_report,
+)
+from .robustness import UploadConsistency, upload_cv_consistency
+from .tierflattening import (
+    TierFlattening,
+    tier_flattening,
+    worst_tier_flattening,
+)
+from .stats import coefficient_of_variation, ecdf, percent_difference
+from .vectors import PLAN_VECTOR_DIM, city_pair_l1_norms, l1_norm, plans_vector
+
+__all__ = [
+    "CONCLUSION_DUOPOLY_BETTER",
+    "CONCLUSION_MONOPOLY_BETTER",
+    "CONCLUSION_NO_DIFFERENCE",
+    "CityCompetitionReport",
+    "CompetitionTest",
+    "ModeSamples",
+    "competition_analysis",
+    "infer_market_modes",
+    "FiberIncomeSplit",
+    "fiber_by_income",
+    "fiber_income_gaps",
+    "income_classes",
+    "ALTERNATIVE_GREATER",
+    "ALTERNATIVE_LESS",
+    "KsResult",
+    "ks_one_tailed",
+    "MoranResult",
+    "morans_i",
+    "CityAffordabilityReport",
+    "IspSummary",
+    "city_affordability_report",
+    "UploadConsistency",
+    "upload_cv_consistency",
+    "TierFlattening",
+    "tier_flattening",
+    "worst_tier_flattening",
+    "coefficient_of_variation",
+    "ecdf",
+    "percent_difference",
+    "PLAN_VECTOR_DIM",
+    "city_pair_l1_norms",
+    "l1_norm",
+    "plans_vector",
+]

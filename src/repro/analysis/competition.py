@@ -1,0 +1,227 @@
+"""Competition analysis (Section 5.4).
+
+From measured data alone, classify each block group by market mode —
+cable monopoly, cable-DSL duopoly, or cable-fiber duopoly — and test
+whether the cable provider's carriage value distribution differs between
+modes, using the paper's dual one-tailed KS design:
+
+* H1: cable cv in duopoly block groups > in monopoly block groups
+* H2: cable cv in monopoly block groups > in duopoly block groups
+
+The paper's findings to reproduce: no significant difference for cable-DSL
+duopolies; a strong H1 rejection for cable-fiber duopolies (Cox: D = 0.65,
+median 14.63 vs 11.38 Mbps/$, ~30% higher).
+
+Mode inference never touches ground truth: a block group is *fiber* for the
+telco when any sampled address shows a symmetric-speed plan, *DSL* when the
+telco serves it with asymmetric plans, and *monopoly* when the telco shows
+no service there.
+
+The paper prunes the long high-cv tail attributable to ACP-subsidized
+plans before this analysis (Figure 8 caption); ``prune_cv_above``
+implements that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.container import BroadbandDataset
+from ..errors import AnalysisError, InsufficientDataError
+from ..isp.market import (
+    MODE_CABLE_DSL_DUOPOLY,
+    MODE_CABLE_FIBER_DUOPOLY,
+    MODE_CABLE_MONOPOLY,
+)
+from ..isp.providers import is_cable
+from .kstest import ALTERNATIVE_GREATER, KsResult, ks_one_tailed
+
+__all__ = [
+    "CONCLUSION_DUOPOLY_BETTER",
+    "CONCLUSION_MONOPOLY_BETTER",
+    "CONCLUSION_NO_DIFFERENCE",
+    "ModeSamples",
+    "CompetitionTest",
+    "CityCompetitionReport",
+    "infer_market_modes",
+    "competition_analysis",
+]
+
+CONCLUSION_DUOPOLY_BETTER = "duopoly_better"
+CONCLUSION_MONOPOLY_BETTER = "monopoly_better"
+CONCLUSION_NO_DIFFERENCE = "no_difference"
+
+_MIN_BLOCK_GROUPS = 5
+_DEFAULT_PRUNE_CV = 20.0
+
+
+@dataclass(frozen=True)
+class ModeSamples:
+    """Block-group median cvs of the cable ISP, per market mode."""
+
+    mode: str
+    cvs: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.cvs)
+
+    def median(self) -> float:
+        if not self.cvs:
+            raise InsufficientDataError(f"no block groups in mode {self.mode}")
+        return float(np.median(self.cvs))
+
+
+@dataclass(frozen=True)
+class CompetitionTest:
+    """Dual one-tailed KS test of one duopoly mode against monopoly."""
+
+    city: str
+    cable_isp: str
+    duopoly_mode: str
+    duopoly: ModeSamples
+    monopoly: ModeSamples
+    h1_duopoly_greater: KsResult
+    h2_monopoly_greater: KsResult
+
+    @property
+    def conclusion(self) -> str:
+        h1 = self.h1_duopoly_greater.rejects_null()
+        h2 = self.h2_monopoly_greater.rejects_null()
+        if h1 and not h2:
+            return CONCLUSION_DUOPOLY_BETTER
+        if h2 and not h1:
+            return CONCLUSION_MONOPOLY_BETTER
+        return CONCLUSION_NO_DIFFERENCE
+
+    @property
+    def median_uplift_percent(self) -> float:
+        """How much better the duopoly median is, in percent."""
+        base = self.monopoly.median()
+        if base == 0:
+            raise AnalysisError("monopoly median cv is zero")
+        return 100.0 * (self.duopoly.median() - base) / base
+
+
+@dataclass(frozen=True)
+class CityCompetitionReport:
+    """All competition evidence for one city's cable ISP."""
+
+    city: str
+    cable_isp: str
+    telco_isp: str | None
+    samples: dict[str, ModeSamples]
+    tests: tuple[CompetitionTest, ...]
+
+    def test_for(self, duopoly_mode: str) -> CompetitionTest | None:
+        for test in self.tests:
+            if test.duopoly_mode == duopoly_mode:
+                return test
+        return None
+
+
+def _cable_and_telco(dataset: BroadbandDataset, city: str) -> tuple[str, str | None]:
+    cable = [isp for isp in dataset.isps_in(city) if is_cable(isp)]
+    telco = [isp for isp in dataset.isps_in(city) if not is_cable(isp)]
+    if not cable:
+        raise AnalysisError(f"{city}: no cable ISP in dataset")
+    if len(cable) > 1 or len(telco) > 1:
+        raise AnalysisError(
+            f"{city}: more than one cable or telco ISP — unexpected market"
+        )
+    return cable[0], (telco[0] if telco else None)
+
+
+def infer_market_modes(
+    dataset: BroadbandDataset, city: str, cable_isp: str, telco_isp: str | None
+) -> dict[str, str]:
+    """Classify each cable-served block group by measured market mode."""
+    cable_served = {
+        geoid
+        for geoid, cvs in dataset.block_group_best_cvs(city, cable_isp).items()
+        if cvs
+    }
+    if telco_isp is None:
+        return {geoid: MODE_CABLE_MONOPOLY for geoid in cable_served}
+    telco_served = {
+        geoid
+        for geoid, cvs in dataset.block_group_best_cvs(city, telco_isp).items()
+        if cvs
+    }
+    telco_fiber = dataset.block_group_has_fiber(city, telco_isp)
+    modes: dict[str, str] = {}
+    for geoid in cable_served:
+        if geoid not in telco_served:
+            modes[geoid] = MODE_CABLE_MONOPOLY
+        elif telco_fiber.get(geoid, False):
+            modes[geoid] = MODE_CABLE_FIBER_DUOPOLY
+        else:
+            modes[geoid] = MODE_CABLE_DSL_DUOPOLY
+    return modes
+
+
+def competition_analysis(
+    dataset: BroadbandDataset,
+    city: str,
+    prune_cv_above: float = _DEFAULT_PRUNE_CV,
+    min_block_groups: int = _MIN_BLOCK_GROUPS,
+) -> CityCompetitionReport:
+    """Run the full Section 5.4 analysis for one city.
+
+    Args:
+        dataset: Curated measurements.
+        city: City to analyze (must have a cable ISP in the dataset).
+        prune_cv_above: Drop block groups whose median cv exceeds this
+            (the ACP-subsidy tail, as pruned in Figure 8).
+        min_block_groups: Minimum block groups per mode to run a KS test.
+    """
+    cable_isp, telco_isp = _cable_and_telco(dataset, city)
+    modes = infer_market_modes(dataset, city, cable_isp, telco_isp)
+    medians = dataset.block_group_median_cv(city, cable_isp)
+
+    grouped: dict[str, list[float]] = {
+        MODE_CABLE_MONOPOLY: [],
+        MODE_CABLE_DSL_DUOPOLY: [],
+        MODE_CABLE_FIBER_DUOPOLY: [],
+    }
+    for geoid, mode in modes.items():
+        cv = medians.get(geoid)
+        if cv is None or cv > prune_cv_above:
+            continue
+        grouped[mode].append(cv)
+
+    samples = {
+        mode: ModeSamples(mode=mode, cvs=tuple(sorted(values)))
+        for mode, values in grouped.items()
+    }
+
+    tests: list[CompetitionTest] = []
+    monopoly = samples[MODE_CABLE_MONOPOLY]
+    for duopoly_mode in (MODE_CABLE_DSL_DUOPOLY, MODE_CABLE_FIBER_DUOPOLY):
+        duopoly = samples[duopoly_mode]
+        if duopoly.n < min_block_groups or monopoly.n < min_block_groups:
+            continue
+        tests.append(
+            CompetitionTest(
+                city=city,
+                cable_isp=cable_isp,
+                duopoly_mode=duopoly_mode,
+                duopoly=duopoly,
+                monopoly=monopoly,
+                h1_duopoly_greater=ks_one_tailed(
+                    duopoly.cvs, monopoly.cvs, ALTERNATIVE_GREATER
+                ),
+                h2_monopoly_greater=ks_one_tailed(
+                    monopoly.cvs, duopoly.cvs, ALTERNATIVE_GREATER
+                ),
+            )
+        )
+    return CityCompetitionReport(
+        city=city,
+        cable_isp=cable_isp,
+        telco_isp=telco_isp,
+        samples=samples,
+        tests=tuple(tests),
+    )

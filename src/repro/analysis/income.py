@@ -1,0 +1,125 @@
+"""Socioeconomic analysis of fiber deployment (Section 5.5).
+
+The paper groups each city's block groups into *low* (below the city's
+median block-group income) and *high* income classes, computes the
+percentage of block groups in each class with access to fiber plans, and
+reports the percentage-point gap (Figure 9a for New Orleans: 41% low vs
+57% high for AT&T; Figure 9b: the gap distribution across cities per ISP,
+where Frontier is the income-neutral outlier).
+
+Income comes from the public ACS table — joining it to measured data is
+exactly what the paper does; fiber availability comes from the measured
+plan shapes only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.container import BroadbandDataset
+from ..errors import InsufficientDataError
+from .stats import percent_difference
+
+__all__ = ["FiberIncomeSplit", "fiber_by_income", "fiber_income_gaps", "income_classes"]
+
+INCOME_LOW = "low"
+INCOME_HIGH = "high"
+
+
+@dataclass(frozen=True)
+class FiberIncomeSplit:
+    """Fiber availability by income class for one (city, ISP)."""
+
+    city: str
+    isp: str
+    low_fiber_share: float
+    high_fiber_share: float
+    n_low: int
+    n_high: int
+
+    @property
+    def gap_points(self) -> float:
+        """High-income minus low-income fiber share, percentage points."""
+        return percent_difference(self.high_fiber_share, self.low_fiber_share)
+
+    @property
+    def favors_high_income(self) -> bool:
+        return self.gap_points > 0
+
+
+def income_classes(incomes: dict[str, float]) -> dict[str, str]:
+    """Classify block groups as low/high income around the city median."""
+    if not incomes:
+        raise InsufficientDataError("no incomes provided")
+    median = float(np.median(list(incomes.values())))
+    return {
+        geoid: (INCOME_LOW if income < median else INCOME_HIGH)
+        for geoid, income in incomes.items()
+    }
+
+
+def fiber_by_income(
+    dataset: BroadbandDataset,
+    city: str,
+    isp: str,
+    incomes: dict[str, float],
+) -> FiberIncomeSplit:
+    """Compute the Figure 9a split for one telco ISP in one city.
+
+    A block group counts as *having fiber* when any of its sampled
+    addresses shows a fiber-shaped plan; the denominator is every block
+    group the ISP serves (shows any plan in).
+    """
+    classes = income_classes(incomes)
+    fiber = dataset.block_group_has_fiber(city, isp)
+    served = {
+        geoid
+        for geoid, cvs in dataset.block_group_best_cvs(city, isp).items()
+        if cvs
+    }
+    counts = {INCOME_LOW: 0, INCOME_HIGH: 0}
+    fiber_counts = {INCOME_LOW: 0, INCOME_HIGH: 0}
+    for geoid in served:
+        income_class = classes.get(geoid)
+        if income_class is None:
+            continue
+        counts[income_class] += 1
+        if fiber.get(geoid, False):
+            fiber_counts[income_class] += 1
+    if counts[INCOME_LOW] == 0 or counts[INCOME_HIGH] == 0:
+        raise InsufficientDataError(
+            f"{city}/{isp}: empty income class "
+            f"(low={counts[INCOME_LOW]}, high={counts[INCOME_HIGH]})"
+        )
+    return FiberIncomeSplit(
+        city=city,
+        isp=isp,
+        low_fiber_share=fiber_counts[INCOME_LOW] / counts[INCOME_LOW],
+        high_fiber_share=fiber_counts[INCOME_HIGH] / counts[INCOME_HIGH],
+        n_low=counts[INCOME_LOW],
+        n_high=counts[INCOME_HIGH],
+    )
+
+
+def fiber_income_gaps(
+    dataset: BroadbandDataset,
+    isp: str,
+    incomes_by_city: dict[str, dict[str, float]],
+) -> tuple[FiberIncomeSplit, ...]:
+    """Figure 9b series: the income gap in every city an ISP serves."""
+    splits = []
+    for city in dataset.cities():
+        if isp not in dataset.isps_in(city):
+            continue
+        incomes = incomes_by_city.get(city)
+        if not incomes:
+            continue
+        try:
+            splits.append(fiber_by_income(dataset, city, isp, incomes))
+        except InsufficientDataError:
+            continue
+    if not splits:
+        raise InsufficientDataError(f"{isp}: no cities with usable income data")
+    return tuple(splits)

@@ -1,0 +1,86 @@
+"""One-tailed two-sample Kolmogorov-Smirnov tests.
+
+Section 5.4 of the paper runs *two one-tailed 2-sample KS tests* per
+competition category: H1 ("the cable provider's carriage value is greater
+in duopoly block groups than in monopoly block groups") and its reverse H2.
+Rejecting H0 in favor of exactly one of them is the paper's evidence for a
+directional competition effect (it reports D = 0.65 for Cox's cable-fiber
+duopoly in New Orleans).
+
+Implemented from scratch on the empirical CDFs with the one-sided
+asymptotic p-value ``p = exp(-2 D^2 m n / (m + n))``; tests cross-check
+against ``scipy.stats.ks_2samp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .stats import require_samples
+
+__all__ = ["KsResult", "ks_one_tailed", "ALTERNATIVE_GREATER", "ALTERNATIVE_LESS"]
+
+ALTERNATIVE_GREATER = "greater"
+ALTERNATIVE_LESS = "less"
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """Outcome of a one-tailed two-sample KS test."""
+
+    statistic: float
+    p_value: float
+    alternative: str
+    n_a: int
+    n_b: int
+
+    def rejects_null(self, alpha: float = 0.05) -> bool:
+        """Is there evidence for the stated alternative at level alpha?"""
+        return self.p_value < alpha
+
+
+def _directional_statistic(a: np.ndarray, b: np.ndarray, alternative: str) -> float:
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(np.sort(a), grid, side="right") / a.size
+    cdf_b = np.searchsorted(np.sort(b), grid, side="right") / b.size
+    if alternative == ALTERNATIVE_GREATER:
+        # H1: a is stochastically greater than b  <=>  F_a lies below F_b.
+        return float(np.max(cdf_b - cdf_a))
+    if alternative == ALTERNATIVE_LESS:
+        return float(np.max(cdf_a - cdf_b))
+    raise AnalysisError(f"unknown alternative {alternative!r}")
+
+
+def ks_one_tailed(
+    sample_a: np.ndarray | list[float],
+    sample_b: np.ndarray | list[float],
+    alternative: str = ALTERNATIVE_GREATER,
+) -> KsResult:
+    """One-tailed two-sample KS test.
+
+    ``alternative="greater"`` tests H1: the distribution of ``sample_a`` is
+    stochastically *greater* than that of ``sample_b`` (its CDF lies
+    below).  ``alternative="less"`` tests the reverse.
+
+    Returns the directional D statistic and the one-sided asymptotic
+    p-value.
+    """
+    a = require_samples(sample_a, 2, "KS sample A")
+    b = require_samples(sample_b, 2, "KS sample B")
+    statistic = _directional_statistic(a, b, alternative)
+    if statistic <= 0:
+        p_value = 1.0
+    else:
+        effective_n = a.size * b.size / (a.size + b.size)
+        p_value = float(np.exp(-2.0 * statistic * statistic * effective_n))
+        p_value = min(1.0, max(0.0, p_value))
+    return KsResult(
+        statistic=statistic,
+        p_value=p_value,
+        alternative=alternative,
+        n_a=int(a.size),
+        n_b=int(b.size),
+    )

@@ -1,0 +1,115 @@
+"""Moran's I spatial autocorrelation, implemented from scratch.
+
+Section 5.3 of the paper computes Moran's I over per-block-group carriage
+values with row-standardized contiguity weights (the PySAL default), and
+reports the median statistic per ISP across cities (Table 3): 0.3-0.5 for
+every ISP except location-invariant Xfinity (0).
+
+Given values :math:`x_i`, deviations :math:`z_i = x_i - \\bar x`, and
+weights :math:`w_{ij}`:
+
+.. math:: I = \\frac{n}{S_0} \\frac{\\sum_i \\sum_j w_{ij} z_i z_j}{\\sum_i z_i^2}
+
+Inference is by random permutation of the values across locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError, InsufficientDataError
+from ..geo.adjacency import SpatialWeights
+
+__all__ = ["MoranResult", "morans_i"]
+
+
+@dataclass(frozen=True)
+class MoranResult:
+    """Moran's I statistic with permutation inference."""
+
+    statistic: float
+    expected: float
+    p_value: float | None
+    n: int
+    n_permutations: int
+
+    @property
+    def is_clustered(self) -> bool:
+        """Positive spatial autocorrelation at the 5% level."""
+        return (
+            self.statistic > self.expected
+            and self.p_value is not None
+            and self.p_value < 0.05
+        )
+
+
+def _moran_statistic(z: np.ndarray, weights: SpatialWeights, denominator: float) -> float:
+    total_weight = 0.0
+    cross_sum = 0.0
+    for i in range(weights.n):
+        neighbors = weights.neighbors[i]
+        if not len(neighbors):
+            continue
+        w = weights.weights[i]
+        cross_sum += float(z[i] * np.dot(w, z[neighbors]))
+        total_weight += float(w.sum())
+    if total_weight == 0:
+        raise AnalysisError("spatial weights have no links")
+    return (weights.n / total_weight) * (cross_sum / denominator)
+
+
+def morans_i(
+    values: np.ndarray | list[float],
+    weights: SpatialWeights,
+    n_permutations: int = 199,
+    seed: int = 0,
+) -> MoranResult:
+    """Compute Moran's I with a permutation p-value.
+
+    Args:
+        values: One value per spatial unit, aligned with ``weights``.
+        weights: Row-standardized spatial weights.
+        n_permutations: Random relabelings for the pseudo p-value
+            (0 disables inference).
+        seed: Seed for the permutation draw.
+
+    Raises:
+        InsufficientDataError: Fewer than 4 units or zero variance
+            (Moran's I is undefined for a constant surface).
+    """
+    x = np.asarray(values, dtype=float)
+    if x.shape != (weights.n,):
+        raise AnalysisError(
+            f"values shape {x.shape} does not match weights n={weights.n}"
+        )
+    if weights.n < 4:
+        raise InsufficientDataError("Moran's I needs at least 4 spatial units")
+    z = x - x.mean()
+    denominator = float(np.dot(z, z))
+    if denominator == 0:
+        raise InsufficientDataError("Moran's I undefined for constant values")
+
+    statistic = _moran_statistic(z, weights, denominator)
+    expected = -1.0 / (weights.n - 1)
+
+    p_value: float | None = None
+    if n_permutations > 0:
+        rng = np.random.default_rng(seed)
+        extreme = 0
+        for _ in range(n_permutations):
+            shuffled = rng.permutation(z)
+            permuted = _moran_statistic(shuffled, weights, denominator)
+            if permuted >= statistic:
+                extreme += 1
+        # One-sided pseudo p-value for positive autocorrelation.
+        p_value = (extreme + 1) / (n_permutations + 1)
+
+    return MoranResult(
+        statistic=float(statistic),
+        expected=float(expected),
+        p_value=p_value,
+        n=weights.n,
+        n_permutations=n_permutations,
+    )

@@ -1,0 +1,127 @@
+"""Policy-facing affordability summaries.
+
+The paper's motivation is to give policymakers (city, county, state) the
+data to target subsidies, rate regulation and infrastructure funding
+(Section 1, Conclusion).  This module condenses a curated dataset into the
+per-city summary a policy analyst would start from: deal quality
+quartiles, the share of block groups stuck with bad deals, competition
+coverage, and the income tilt of fiber.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.container import BroadbandDataset
+from ..errors import InsufficientDataError
+from ..isp.market import MODE_CABLE_FIBER_DUOPOLY
+from ..isp.providers import is_cable
+from .competition import infer_market_modes
+from .income import fiber_by_income
+
+__all__ = ["IspSummary", "CityAffordabilityReport", "city_affordability_report"]
+
+# Below this carriage value, 100 Mbps costs more than $50/month — the
+# "bad deal" threshold used in the per-city summaries.
+BAD_DEAL_CV = 2.0
+
+
+@dataclass(frozen=True)
+class IspSummary:
+    """Deal-quality summary for one ISP in one city."""
+
+    isp: str
+    n_block_groups: int
+    cv_quartiles: tuple[float, float, float]
+    bad_deal_share: float
+
+    @property
+    def median_cv(self) -> float:
+        return self.cv_quartiles[1]
+
+
+@dataclass(frozen=True)
+class CityAffordabilityReport:
+    """Everything a policy analyst needs about one city."""
+
+    city: str
+    isps: tuple[IspSummary, ...]
+    fiber_competition_share: float | None
+    income_fiber_gap_points: float | None
+
+    def summary_for(self, isp: str) -> IspSummary:
+        for row in self.isps:
+            if row.isp == isp:
+                return row
+        raise InsufficientDataError(f"{self.city}: no summary for {isp}")
+
+    @property
+    def best_median_cv(self) -> float:
+        return max(row.median_cv for row in self.isps)
+
+
+def _isp_summary(dataset: BroadbandDataset, city: str, isp: str) -> IspSummary | None:
+    medians = dataset.block_group_median_cv(city, isp)
+    if not medians:
+        return None
+    values = np.asarray(list(medians.values()))
+    return IspSummary(
+        isp=isp,
+        n_block_groups=values.size,
+        cv_quartiles=(
+            float(np.percentile(values, 25)),
+            float(np.percentile(values, 50)),
+            float(np.percentile(values, 75)),
+        ),
+        bad_deal_share=float((values < BAD_DEAL_CV).mean()),
+    )
+
+
+def city_affordability_report(
+    dataset: BroadbandDataset,
+    city: str,
+    incomes: dict[str, float] | None = None,
+) -> CityAffordabilityReport:
+    """Build the affordability report for one city.
+
+    Args:
+        dataset: Curated measurements.
+        city: City key (must be present in the dataset).
+        incomes: Optional ACS income join; enables the income-gap field.
+    """
+    isps = dataset.isps_in(city)
+    if not isps:
+        raise InsufficientDataError(f"no data for city {city!r}")
+    summaries = tuple(
+        summary
+        for summary in (_isp_summary(dataset, city, isp) for isp in isps)
+        if summary is not None
+    )
+    if not summaries:
+        raise InsufficientDataError(f"{city}: no ISP produced plan data")
+
+    cable = next((isp for isp in isps if is_cable(isp)), None)
+    telco = next((isp for isp in isps if not is_cable(isp)), None)
+    fiber_competition_share: float | None = None
+    if cable is not None:
+        modes = infer_market_modes(dataset, city, cable, telco)
+        if modes:
+            fiber_competition_share = sum(
+                1 for m in modes.values() if m == MODE_CABLE_FIBER_DUOPOLY
+            ) / len(modes)
+
+    income_gap: float | None = None
+    if incomes and telco is not None:
+        try:
+            income_gap = fiber_by_income(dataset, city, telco, incomes).gap_points
+        except InsufficientDataError:
+            income_gap = None
+
+    return CityAffordabilityReport(
+        city=city,
+        isps=summaries,
+        fiber_competition_share=fiber_competition_share,
+        income_fiber_gap_points=income_gap,
+    )

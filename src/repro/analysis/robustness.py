@@ -1,0 +1,70 @@
+"""Robustness checks from Section 5.1.
+
+The paper computes carriage value from download speed but notes: "While not
+shown, we verified that our results are consistent if we use upload speed
+to determine carriage value."  This module implements that check: the
+rank agreement between download-based and upload-based block-group carriage
+surfaces.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..dataset.container import BroadbandDataset
+from ..errors import InsufficientDataError
+
+__all__ = ["UploadConsistency", "upload_cv_consistency"]
+
+
+@dataclass(frozen=True)
+class UploadConsistency:
+    """Agreement between download- and upload-based cv surfaces."""
+
+    city: str
+    isp: str
+    n_block_groups: int
+    spearman_rho: float
+    p_value: float
+
+    @property
+    def is_consistent(self) -> bool:
+        """Strong positive rank agreement (the paper's claim)."""
+        return self.spearman_rho > 0.5 and self.p_value < 0.05
+
+
+def upload_cv_consistency(
+    dataset: BroadbandDataset, city: str, isp: str
+) -> UploadConsistency:
+    """Spearman rank correlation between per-block-group median download-cv
+    and upload-cv for one (city, ISP)."""
+    down: dict[str, list[float]] = defaultdict(list)
+    up: dict[str, list[float]] = defaultdict(list)
+    for obs in dataset.for_city_isp(city, isp):
+        if obs.best_cv is None:
+            continue
+        down[obs.block_group].append(obs.best_cv)
+        up[obs.block_group].append(obs.best_upload_cv)
+    geoids = sorted(down)
+    if len(geoids) < 5:
+        raise InsufficientDataError(
+            f"{city}/{isp}: need >= 5 block groups for the upload check"
+        )
+    down_medians = np.array([np.median(down[g]) for g in geoids])
+    up_medians = np.array([np.median(up[g]) for g in geoids])
+    if np.all(down_medians == down_medians[0]) or np.all(up_medians == up_medians[0]):
+        raise InsufficientDataError(
+            f"{city}/{isp}: constant cv surface, rank correlation undefined"
+        )
+    rho, p_value = scipy_stats.spearmanr(down_medians, up_medians)
+    return UploadConsistency(
+        city=city,
+        isp=isp,
+        n_block_groups=len(geoids),
+        spearman_rho=float(rho),
+        p_value=float(p_value),
+    )

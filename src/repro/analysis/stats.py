@@ -1,0 +1,48 @@
+"""Small statistical utilities shared across the analysis layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InsufficientDataError
+
+__all__ = ["ecdf", "coefficient_of_variation", "percent_difference", "require_samples"]
+
+
+def require_samples(values: np.ndarray | list[float], minimum: int, what: str) -> np.ndarray:
+    """Validate sample size and return the data as an array."""
+    array = np.asarray(values, dtype=float)
+    if array.size < minimum:
+        raise InsufficientDataError(
+            f"{what}: need at least {minimum} samples, got {array.size}"
+        )
+    return array
+
+
+def ecdf(values: np.ndarray | list[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fractions).
+
+    >>> xs, fs = ecdf([3.0, 1.0, 2.0])
+    >>> xs.tolist()
+    [1.0, 2.0, 3.0]
+    >>> [round(f, 3) for f in fs.tolist()]
+    [0.333, 0.667, 1.0]
+    """
+    array = require_samples(values, 1, "ecdf")
+    xs = np.sort(array)
+    fractions = np.arange(1, xs.size + 1) / xs.size
+    return xs, fractions
+
+
+def coefficient_of_variation(values: np.ndarray | list[float]) -> float:
+    """Standard deviation divided by mean (the Figure 4 metric)."""
+    array = require_samples(values, 1, "coefficient of variation")
+    mean = float(array.mean())
+    if mean == 0:
+        raise InsufficientDataError("coefficient of variation undefined for zero mean")
+    return float(array.std() / mean)
+
+
+def percent_difference(high: float, low: float) -> float:
+    """Percentage-point difference used in Figure 9b."""
+    return 100.0 * (high - low)

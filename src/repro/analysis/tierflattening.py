@@ -1,0 +1,106 @@
+"""Tier-flattening analysis.
+
+Section 2 of the paper discusses The Markup's headline finding: "for
+$55/month, AT&T offers 1000 times greater maximum download speed to some
+addresses in the same city" — legacy DSL customers pay new-build fiber
+prices, a phenomenon the NDIA named *tier flattening*.
+
+This module measures it in the curated dataset: for each (ISP, city,
+price point), the ratio between the fastest and slowest download speed
+sold at that price across addresses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..dataset.container import BroadbandDataset
+from ..errors import InsufficientDataError
+
+__all__ = ["TierFlattening", "tier_flattening", "worst_tier_flattening"]
+
+# Prices within this tolerance (dollars) count as "the same price point".
+_PRICE_TOLERANCE = 0.01
+
+
+@dataclass(frozen=True)
+class TierFlattening:
+    """Speed disparity at one (ISP, city, monthly price) point."""
+
+    isp: str
+    city: str
+    monthly_price: float
+    min_download_mbps: float
+    max_download_mbps: float
+    n_addresses: int
+
+    @property
+    def flattening_factor(self) -> float:
+        """Fastest over slowest download speed sold at this price.
+
+        1.0 means everyone gets the same speed for the money; The Markup
+        found factors of up to 1000x for AT&T.
+        """
+        if self.min_download_mbps <= 0:
+            raise InsufficientDataError("non-positive download speed")
+        return self.max_download_mbps / self.min_download_mbps
+
+
+def tier_flattening(
+    dataset: BroadbandDataset, city: str, isp: str, min_addresses: int = 5
+) -> tuple[TierFlattening, ...]:
+    """Tier-flattening rows for every price point of one (city, ISP).
+
+    Only non-subsidized plans are considered (ACP discounts are a price
+    *difference*, not a flattened tier).
+    """
+    by_price: dict[float, list[float]] = defaultdict(list)
+    counts: dict[float, int] = defaultdict(int)
+    for obs in dataset.for_city_isp(city, isp):
+        for plan in obs.plans:
+            if "(ACP)" in plan.name:
+                continue
+            price = round(plan.monthly_price / _PRICE_TOLERANCE) * _PRICE_TOLERANCE
+            by_price[price].append(plan.download_mbps)
+            counts[price] += 1
+    rows = []
+    for price in sorted(by_price):
+        speeds = by_price[price]
+        if counts[price] < min_addresses:
+            continue
+        rows.append(
+            TierFlattening(
+                isp=isp,
+                city=city,
+                monthly_price=round(price, 2),
+                min_download_mbps=min(speeds),
+                max_download_mbps=max(speeds),
+                n_addresses=counts[price],
+            )
+        )
+    if not rows:
+        raise InsufficientDataError(
+            f"{city}/{isp}: no price point has >= {min_addresses} observations"
+        )
+    return tuple(rows)
+
+
+def worst_tier_flattening(
+    dataset: BroadbandDataset, isp: str, min_addresses: int = 5
+) -> TierFlattening:
+    """The single worst flattening factor for an ISP across all cities."""
+    worst: TierFlattening | None = None
+    for city in dataset.cities():
+        if isp not in dataset.isps_in(city):
+            continue
+        try:
+            rows = tier_flattening(dataset, city, isp, min_addresses)
+        except InsufficientDataError:
+            continue
+        for row in rows:
+            if worst is None or row.flattening_factor > worst.flattening_factor:
+                worst = row
+    if worst is None:
+        raise InsufficientDataError(f"{isp}: no tier-flattening data")
+    return worst

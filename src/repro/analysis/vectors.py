@@ -1,0 +1,78 @@
+"""Plan vectors and the L1 plan-difference metric.
+
+Section 5.1: "we represent the available plans from an ISP in a city using
+a plans vector of 30 dimensions, each representing a discrete carriage
+value ... The weight for each dimension is determined by the fraction of
+block groups in the city that receive that specific carriage value, and
+the ceil operator is used to discretize the carriage values."  Differences
+between cities (Figure 6) are the L1 norm between their vectors.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..dataset.container import BroadbandDataset
+from ..errors import InsufficientDataError
+
+__all__ = ["PLAN_VECTOR_DIM", "plans_vector", "l1_norm", "city_pair_l1_norms"]
+
+# The maximum carriage value observed across all ISPs and cities is 28.6
+# (Table 1), so 30 integer buckets cover the range.
+PLAN_VECTOR_DIM = 30
+
+
+def plans_vector(
+    block_group_cvs: list[float] | np.ndarray, dim: int = PLAN_VECTOR_DIM
+) -> np.ndarray:
+    """Build the per-city plan vector from block-group carriage values.
+
+    Bucket ``k`` (1-indexed carriage value ``ceil(cv) == k``) holds the
+    fraction of block groups whose median cv falls in that bucket; values
+    above ``dim`` are clamped into the top bucket.
+    """
+    values = np.asarray(block_group_cvs, dtype=float)
+    if values.size == 0:
+        raise InsufficientDataError("plans vector needs at least one block group")
+    buckets = np.ceil(values).astype(int)
+    buckets = np.clip(buckets, 1, dim)
+    vector = np.zeros(dim, dtype=float)
+    for bucket in buckets:
+        vector[bucket - 1] += 1.0
+    return vector / values.size
+
+
+def l1_norm(vector_a: np.ndarray, vector_b: np.ndarray) -> float:
+    """L1 distance between two plan vectors (0 identical, 2 disjoint)."""
+    a = np.asarray(vector_a, dtype=float)
+    b = np.asarray(vector_b, dtype=float)
+    if a.shape != b.shape:
+        raise InsufficientDataError(
+            f"plan vectors have different shapes: {a.shape} vs {b.shape}"
+        )
+    return float(np.abs(a - b).sum())
+
+
+def city_pair_l1_norms(
+    dataset: BroadbandDataset, isp: str, dim: int = PLAN_VECTOR_DIM
+) -> dict[tuple[str, str], float]:
+    """L1 plan-vector distance for every pair of cities an ISP serves.
+
+    The distribution of these values per ISP is Figure 6: DSL/fiber
+    providers are more uniform across cities than cable providers.
+    """
+    vectors: dict[str, np.ndarray] = {}
+    for city in dataset.cities():
+        medians = dataset.block_group_median_cv(city, isp)
+        if medians:
+            vectors[city] = plans_vector(list(medians.values()), dim)
+    if len(vectors) < 2:
+        raise InsufficientDataError(
+            f"{isp}: need at least two cities with data for pairwise L1"
+        )
+    return {
+        (a, b): l1_norm(vectors[a], vectors[b])
+        for a, b in combinations(sorted(vectors), 2)
+    }

@@ -1,0 +1,24 @@
+"""Simulated Broadband Availability Tool (BAT) servers for the seven ISPs."""
+
+from .app import BatApplication, OfferResolver
+from .profiles import BAT_PROFILES, BatProfile, profile_for
+from .safeguards import (
+    SESSION_COOKIE,
+    TOKEN_COOKIE,
+    RateLimiter,
+    SafeguardDecision,
+    SafeguardPolicy,
+)
+
+__all__ = [
+    "BatApplication",
+    "OfferResolver",
+    "BAT_PROFILES",
+    "BatProfile",
+    "profile_for",
+    "SESSION_COOKIE",
+    "TOKEN_COOKIE",
+    "RateLimiter",
+    "SafeguardDecision",
+    "SafeguardPolicy",
+]

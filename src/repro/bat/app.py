@@ -1,0 +1,342 @@
+"""The simulated Broadband Availability Tool web application.
+
+One :class:`BatApplication` serves one ISP's BAT across all of that ISP's
+cities.  It implements the full multi-step workflow the paper describes in
+Section 3.1 (and Figure 1):
+
+1. ``GET /`` — address-entry form (opens a session).
+2. ``POST /availability`` — serviceability lookup.  Depending on the input
+   this renders: the plans page, a no-service page, the *incorrect address*
+   suggestion page, the *multi-dwelling unit* picker, the *existing
+   customer* interstitial, a not-found page, or a sticky technical error.
+3. ``POST /suggestion`` / ``POST /unit`` — resolve a choice from step 2 and
+   re-enter the lookup flow.
+4. ``POST /newcustomer`` — proceed past the existing-customer interstitial
+   without authentication.
+
+Safeguards (dynamic per-step cookies, IP binding, rate limiting) gate every
+POST.  All state lives in an in-memory session table keyed by a session
+cookie, exactly like the real sites.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..addresses.database import AddressIndex
+from ..addresses.model import Address
+from ..isp.plans import Plan
+from ..net.cookies import parse_set_cookie
+from ..net.http import HttpRequest, HttpResponse
+from ..net.transport import RENDER_HEADER
+from ..seeding import derive_seed
+from . import pages
+from .profiles import BatProfile
+from .safeguards import SESSION_COOKIE, TOKEN_COOKIE, SafeguardPolicy
+
+__all__ = ["BatApplication", "OfferResolver"]
+
+# Maps an exactly resolved canonical address to the plans offered there.
+# Returns an empty tuple for "known address, no service".
+OfferResolver = Callable[[Address], tuple[Plan, ...]]
+
+
+@dataclass
+class _Session:
+    session_id: str
+    suggestions: list[Address] = field(default_factory=list)
+    units: list[Address] = field(default_factory=list)
+    pending: Address | None = None
+    passed_interstitial: bool = False
+    queried_line: str = ""
+    queried_zip: str = ""
+
+
+def _request_cookies(request: HttpRequest) -> dict[str, str]:
+    header = request.header("Cookie")
+    if not header:
+        return {}
+    cookies: dict[str, str] = {}
+    for part in header.split(";"):
+        name, value = parse_set_cookie(part)
+        if name:
+            cookies[name] = value
+    return cookies
+
+
+class BatApplication:
+    """One ISP's BAT, ready to be served by any transport."""
+
+    def __init__(
+        self,
+        profile: BatProfile,
+        index: AddressIndex,
+        offers: OfferResolver,
+        seed: int = 0,
+    ) -> None:
+        self.profile = profile
+        self._index = index
+        self._offers = offers
+        self._seed = derive_seed(seed, "bat", profile.isp)
+        self._safeguards = SafeguardPolicy(
+            secret=f"{profile.isp}-{self._seed:x}",
+            rate_limit_per_minute=profile.rate_limit_per_minute,
+        )
+        self._sessions: dict[str, _Session] = {}
+        self._session_counter = 0
+        self._delay_rng = np.random.default_rng(derive_seed(self._seed, "delays"))
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    @property
+    def hostname(self) -> str:
+        from ..isp.providers import get_isp
+
+        return get_isp(self.profile.isp).bat_hostname
+
+    def handle(self, request: HttpRequest, client_ip: str, now: float) -> HttpResponse:
+        cookies = _request_cookies(request)
+        session_id = cookies.get(SESSION_COOKIE)
+        token = cookies.get(TOKEN_COOKIE)
+
+        if request.method == "GET" and request.path == "/":
+            return self._handle_home(client_ip, now)
+
+        routes = {
+            "/availability": self._handle_availability,
+            "/suggestion": self._handle_suggestion,
+            "/unit": self._handle_unit,
+            "/newcustomer": self._handle_new_customer,
+        }
+        handler = routes.get(request.path)
+        if request.method != "POST" or handler is None:
+            return HttpResponse.html(
+                pages.render_not_found(self.profile, request.path), status=404
+            )
+
+        decision = self._safeguards.check_request(
+            session_id, token, client_ip, now, requires_session=True
+        )
+        if not decision.allowed:
+            status = 429 if "rate" in decision.reason else 403
+            return self._respond(
+                None,
+                pages.render_blocked(self.profile, decision.reason),
+                self.profile.lookup_delay * 0.2,
+                status=status,
+            )
+        session = self._sessions.get(session_id or "")
+        if session is None:
+            return self._respond(
+                None,
+                pages.render_blocked(self.profile, "expired session"),
+                self.profile.lookup_delay * 0.2,
+                status=403,
+            )
+        return handler(session, request)
+
+    # ------------------------------------------------------------------
+    # Route handlers
+    # ------------------------------------------------------------------
+    def _handle_home(self, client_ip: str, now: float) -> HttpResponse:
+        decision = self._safeguards.check_request(
+            None, None, client_ip, now, requires_session=False
+        )
+        if not decision.allowed:
+            return self._respond(
+                None,
+                pages.render_blocked(self.profile, decision.reason),
+                self.profile.home_delay * 0.2,
+                status=429,
+            )
+        self._session_counter += 1
+        session_id = hashlib.sha256(
+            f"{self._seed}:{self._session_counter}:{client_ip}".encode()
+        ).hexdigest()[:20]
+        self._sessions[session_id] = _Session(session_id=session_id)
+        first_token = self._safeguards.open_session(session_id, client_ip)
+        response = HttpResponse.html(pages.render_home(self.profile))
+        response.add_header("Set-Cookie", f"{SESSION_COOKIE}={session_id}; Path=/")
+        response.add_header("Set-Cookie", f"{TOKEN_COOKIE}={first_token}; Path=/")
+        response.set_header(RENDER_HEADER, str(self._render_delay(self.profile.home_delay)))
+        return response
+
+    def _handle_availability(
+        self, session: _Session, request: HttpRequest
+    ) -> HttpResponse:
+        form = request.form()
+        street_line = form.get(self.profile.address_field, "").strip()
+        zip_code = form.get(self.profile.zip_field, "").strip()
+        if not street_line or not zip_code:
+            return self._respond(
+                session,
+                pages.render_not_found(self.profile, street_line or "(empty)"),
+                self.profile.lookup_delay * 0.5,
+            )
+        session.queried_line = street_line
+        session.queried_zip = zip_code
+        return self._resolve(session, street_line, zip_code)
+
+    def _handle_suggestion(
+        self, session: _Session, request: HttpRequest
+    ) -> HttpResponse:
+        choice = request.form().get("choice", "")
+        if not choice.isdigit() or int(choice) >= len(session.suggestions):
+            return self._respond(
+                session,
+                pages.render_not_found(self.profile, session.queried_line),
+                self.profile.lookup_delay * 0.5,
+            )
+        chosen = session.suggestions[int(choice)]
+        session.suggestions = []
+        return self._resolve(session, chosen.street_line(), chosen.zip_code)
+
+    def _handle_unit(self, session: _Session, request: HttpRequest) -> HttpResponse:
+        choice = request.form().get("unit", "")
+        if not choice.isdigit() or int(choice) >= len(session.units):
+            return self._respond(
+                session,
+                pages.render_not_found(self.profile, session.queried_line),
+                self.profile.lookup_delay * 0.5,
+            )
+        chosen = session.units[int(choice)]
+        session.units = []
+        return self._resolve(session, chosen.street_line(), chosen.zip_code)
+
+    def _handle_new_customer(
+        self, session: _Session, request: HttpRequest
+    ) -> HttpResponse:
+        if session.pending is None:
+            return self._respond(
+                session,
+                pages.render_not_found(self.profile, session.queried_line),
+                self.profile.lookup_delay * 0.5,
+            )
+        session.passed_interstitial = True
+        # The serviceability lookup already ran before the interstitial, so
+        # only the plans render is charged here.
+        return self._finish(session, session.pending, charge_lookup=False)
+
+    # ------------------------------------------------------------------
+    # Lookup flow
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, session: _Session, street_line: str, zip_code: str
+    ) -> HttpResponse:
+        if self._is_flaky(street_line, zip_code):
+            return self._respond(
+                session,
+                pages.render_technical_error(self.profile),
+                self.profile.lookup_delay,
+            )
+        found = self._index.lookup(street_line, zip_code)
+        if found is not None:
+            if self._is_existing_customer(found) and not session.passed_interstitial:
+                session.pending = found
+                return self._respond(
+                    session,
+                    pages.render_existing_customer(self.profile, found.street_line()),
+                    self.profile.lookup_delay + self.profile.interstitial_delay,
+                )
+            return self._finish(session, found)
+
+        units = self._index.units_at(street_line, zip_code)
+        if units:
+            session.units = list(units)
+            return self._respond(
+                session,
+                pages.render_mdu(
+                    self.profile,
+                    street_line,
+                    [unit.unit or "?" for unit in units],
+                ),
+                self.profile.lookup_delay + self.profile.interstitial_delay,
+            )
+
+        candidates = self._index.candidates(
+            street_line, zip_code, limit=self.profile.suggestion_limit
+        )
+        if candidates:
+            session.suggestions = list(candidates)
+            return self._respond(
+                session,
+                pages.render_suggestions(
+                    self.profile,
+                    street_line,
+                    [(c.street_line(), c.zip_code) for c in candidates],
+                ),
+                self.profile.lookup_delay,
+            )
+        return self._respond(
+            session,
+            pages.render_not_found(self.profile, street_line),
+            self.profile.lookup_delay,
+        )
+
+    def _finish(
+        self, session: _Session, address: Address, charge_lookup: bool = True
+    ) -> HttpResponse:
+        # A POST that resolves an address performs the serviceability lookup
+        # *and* renders the outcome page, so both delays are charged.
+        lookup = self.profile.lookup_delay if charge_lookup else 0.0
+        plans = self._offers(address)
+        if not plans:
+            return self._respond(
+                session,
+                pages.render_no_service(self.profile, address.street_line()),
+                lookup + self.profile.lookup_delay * 0.5,
+            )
+        return self._respond(
+            session,
+            pages.render_plans(self.profile, address.street_line(), list(plans)),
+            lookup + self.profile.plans_delay,
+        )
+
+    # ------------------------------------------------------------------
+    # Behaviour draws (deterministic per address)
+    # ------------------------------------------------------------------
+    def _address_uniform(self, label: str, street_line: str, zip_code: str) -> float:
+        from ..addresses.normalize import canonical_key
+
+        draw = derive_seed(self._seed, label, canonical_key(street_line, zip_code))
+        return (draw % 10_000_000) / 10_000_000.0
+
+    def _is_flaky(self, street_line: str, zip_code: str) -> bool:
+        return (
+            self._address_uniform("flaky", street_line, zip_code)
+            < self.profile.flaky_error_rate
+        )
+
+    def _is_existing_customer(self, address: Address) -> bool:
+        return (
+            self._address_uniform("existing", address.street_line(), address.zip_code)
+            < self.profile.existing_customer_rate
+        )
+
+    # ------------------------------------------------------------------
+    # Response assembly
+    # ------------------------------------------------------------------
+    def _render_delay(self, median: float) -> float:
+        spread = float(
+            np.exp(self.profile.render_sigma * self._delay_rng.standard_normal())
+        )
+        return round(median * spread, 3)
+
+    def _respond(
+        self,
+        session: _Session | None,
+        markup: str,
+        delay_median: float,
+        status: int = 200,
+    ) -> HttpResponse:
+        response = HttpResponse.html(markup, status=status)
+        if session is not None:
+            next_token = self._safeguards.rotate_token(session.session_id)
+            response.add_header("Set-Cookie", f"{TOKEN_COOKIE}={next_token}; Path=/")
+        response.set_header(RENDER_HEADER, str(self._render_delay(delay_median)))
+        return response

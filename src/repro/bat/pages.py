@@ -1,0 +1,243 @@
+"""HTML page rendering for the simulated BATs.
+
+Every ISP renders the same logical steps with different markup — drop-down
+``<select>`` menus vs. clickable lists, plan tables vs. plan cards,
+different form-field names and phrasing.  BQT's template classifier and
+plan parser must cope with all of them, exactly as the paper's manual
+bootstrapping step enumerated per-ISP templates (Section 3.3).
+
+The markup intentionally contains realistic cruft (navigation, legal
+footer) so the scraper's DOM queries must be genuinely selective.
+"""
+
+from __future__ import annotations
+
+from ..addresses.model import Address
+from ..isp.plans import Plan
+from .profiles import BatProfile
+
+__all__ = [
+    "escape_html",
+    "render_home",
+    "render_suggestions",
+    "render_mdu",
+    "render_existing_customer",
+    "render_plans",
+    "render_no_service",
+    "render_not_found",
+    "render_technical_error",
+    "render_blocked",
+]
+
+
+def escape_html(text: str) -> str:
+    """Escape the characters that would break our markup."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _page(profile: BatProfile, title: str, body: str) -> str:
+    """Shared chrome: header, nav, content region, footer."""
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head><meta charset="utf-8"><title>{escape_html(title)} | {escape_html(profile.brand)}</title></head>
+<body class="bat bat-{profile.isp}">
+<header class="site-header"><span class="brand">{escape_html(profile.brand)}</span>
+<nav class="main-nav"><a href="/">Home</a><a href="/shop">Shop</a><a href="/support">Support</a></nav>
+</header>
+<main id="content">
+{body}
+</main>
+<footer class="legal"><p>&copy; {escape_html(profile.brand)}. Speeds not guaranteed.
+Taxes and equipment fees may apply. Offer availability varies by location.</p></footer>
+</body>
+</html>"""
+
+
+def render_home(profile: BatProfile) -> str:
+    """The address-entry form (the BAT landing page)."""
+    body = f"""<section class="availability-check">
+<h1>Check availability in your area</h1>
+<p>Enter your address to see {escape_html(profile.brand)} plans available at your home.</p>
+<form id="availability-form" action="/availability" method="post">
+  <label for="{profile.address_field}">Street address</label>
+  <input type="text" id="{profile.address_field}" name="{profile.address_field}" required>
+  <label for="{profile.zip_field}">ZIP code</label>
+  <input type="text" id="{profile.zip_field}" name="{profile.zip_field}" required>
+  <button type="submit" class="check-btn">Check availability</button>
+</form>
+</section>"""
+    return _page(profile, "Check availability", body)
+
+
+def render_suggestions(
+    profile: BatProfile, queried: str, suggestions: list[tuple[str, str]]
+) -> str:
+    """The "we couldn't verify that address" page (Figure 1a).
+
+    ``suggestions`` is a list of (street_line, zip) pairs; the response
+    form posts the chosen index.
+    """
+    if profile.suggestion_style == "select":
+        options = "\n".join(
+            f'  <option value="{i}">{escape_html(line)}, {escape_html(zip5)}</option>'
+            for i, (line, zip5) in enumerate(suggestions)
+        )
+        chooser = f"""<select name="choice" class="suggestion-select">
+  <option value="">-- Select your address --</option>
+{options}
+</select>
+<button type="submit">Continue</button>"""
+    else:
+        items = "\n".join(
+            f'  <li class="suggestion-item"><button type="submit" name="choice" '
+            f'value="{i}">{escape_html(line)}, {escape_html(zip5)}</button></li>'
+            for i, (line, zip5) in enumerate(suggestions)
+        )
+        chooser = f'<ul class="suggestion-list">\n{items}\n</ul>'
+    body = f"""<section class="address-suggestions">
+<h1>We need a little more detail</h1>
+<p class="notice">We couldn't verify the address "<em>{escape_html(queried)}</em>".
+Did you mean one of the following?</p>
+<form id="suggestion-form" action="/suggestion" method="post">
+{chooser}
+</form>
+</section>"""
+    return _page(profile, "Verify your address", body)
+
+
+def render_mdu(profile: BatProfile, building: str, units: list[str]) -> str:
+    """The multi-dwelling-unit picker (Figure 1c)."""
+    if profile.suggestion_style == "select":
+        options = "\n".join(
+            f'  <option value="{i}">{escape_html(unit)}</option>'
+            for i, unit in enumerate(units)
+        )
+        chooser = f"""<select name="unit" class="unit-select">
+  <option value="">-- Select your unit --</option>
+{options}
+</select>
+<button type="submit">Continue</button>"""
+    else:
+        items = "\n".join(
+            f'  <li class="unit-item"><button type="submit" name="unit" '
+            f'value="{i}">{escape_html(unit)}</button></li>'
+            for i, unit in enumerate(units)
+        )
+        chooser = f'<ul class="unit-list">\n{items}\n</ul>'
+    body = f"""<section class="multi-dwelling">
+<h1>Which unit are you in?</h1>
+<p class="notice">The building at "<em>{escape_html(building)}</em>" has multiple units.
+Select your apartment or unit to continue.</p>
+<form id="unit-form" action="/unit" method="post">
+{chooser}
+</form>
+</section>"""
+    return _page(profile, "Select your unit", body)
+
+
+def render_existing_customer(profile: BatProfile, address_line: str) -> str:
+    """The existing-customer interstitial (Figure 1b)."""
+    body = f"""<section class="existing-customer">
+<h1>Good news — you already have service</h1>
+<p class="notice">Our records show an active account already receives service at
+"<em>{escape_html(address_line)}</em>".</p>
+<div class="existing-options">
+  <a class="option auth-required" href="/login?intent=change">Change my plan (sign in)</a>
+  <a class="option auth-required" href="/login?intent=add">Add a line (sign in)</a>
+  <form id="new-customer-form" action="/newcustomer" method="post">
+    <button type="submit" class="option new-customer">I'm a new customer — view available plans</button>
+  </form>
+</div>
+</section>"""
+    return _page(profile, "Existing service", body)
+
+
+def _format_speed(mbps: float) -> str:
+    if mbps < 1:
+        return f"{int(round(mbps * 1000))} Kbps"
+    if mbps == int(mbps):
+        return f"{int(mbps)} Mbps"
+    return f"{mbps:g} Mbps"
+
+
+def render_plans(profile: BatProfile, address_line: str, plans: list[Plan]) -> str:
+    """The plans page — the payload BQT exists to scrape."""
+    if profile.plan_markup == "table":
+        rows = "\n".join(
+            f"""  <tr class="plan-row" data-plan-id="{plan.plan_id}">
+    <td class="plan-name">{escape_html(plan.name)}</td>
+    <td class="plan-download">{_format_speed(plan.download_mbps)}</td>
+    <td class="plan-upload">{_format_speed(plan.upload_mbps)}</td>
+    <td class="plan-price">${plan.monthly_price:.2f}/mo</td>
+  </tr>"""
+            for plan in plans
+        )
+        listing = f"""<table class="plans-table">
+  <thead><tr><th>Plan</th><th>Download</th><th>Upload</th><th>Price</th></tr></thead>
+  <tbody>
+{rows}
+  </tbody>
+</table>"""
+    else:
+        cards = "\n".join(
+            f"""  <div class="plan-card" data-plan-id="{plan.plan_id}">
+    <h3 class="plan-name">{escape_html(plan.name)}</h3>
+    <p class="plan-speeds"><span class="plan-download">{_format_speed(plan.download_mbps)}</span> download
+    / <span class="plan-upload">{_format_speed(plan.upload_mbps)}</span> upload</p>
+    <p class="plan-price">${plan.monthly_price:.2f}<span class="per">/mo</span></p>
+    <button class="cta">Select this plan</button>
+  </div>"""
+            for plan in plans
+        )
+        listing = f'<div class="plan-grid">\n{cards}\n</div>'
+    body = f"""<section class="available-plans">
+<h1>Plans available at your address</h1>
+<p class="service-address">Showing plans for <strong>{escape_html(address_line)}</strong></p>
+{listing}
+</section>"""
+    return _page(profile, "Available plans", body)
+
+
+def render_no_service(profile: BatProfile, address_line: str) -> str:
+    """A definitive "we don't serve this address" answer."""
+    body = f"""<section class="no-service">
+<h1>We're not in your neighborhood yet</h1>
+<p class="notice">{escape_html(profile.brand)} service is not available at
+"<em>{escape_html(address_line)}</em>" at this time.</p>
+</section>"""
+    return _page(profile, "Service unavailable", body)
+
+
+def render_not_found(profile: BatProfile, queried: str) -> str:
+    """Unrecoverable address-not-found (no suggestions to offer)."""
+    body = f"""<section class="address-error">
+<h1>We couldn't find that address</h1>
+<p class="notice">No match found for "<em>{escape_html(queried)}</em>".
+Please check the address and try again.</p>
+</section>"""
+    return _page(profile, "Address not found", body)
+
+
+def render_technical_error(profile: BatProfile) -> str:
+    """The BAT's own failure mode (drives the Figure 2a hit-rate spread)."""
+    body = """<section class="technical-error">
+<h1>Something went wrong</h1>
+<p class="notice">We hit a snag processing your request. Please try again later.
+Reference code: SVC-503.</p>
+</section>"""
+    return _page(profile, "Temporary error", body)
+
+
+def render_blocked(profile: BatProfile, reason: str) -> str:
+    """Anti-scraping block page (rate limit or cookie anomaly)."""
+    body = f"""<section class="access-blocked">
+<h1>Unusual activity detected</h1>
+<p class="notice">Access from your network has been temporarily limited
+({escape_html(reason)}). If you believe this is an error, contact support.</p>
+</section>"""
+    return _page(profile, "Access limited", body)

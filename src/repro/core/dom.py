@@ -1,0 +1,263 @@
+"""HTML parsing and a queryable DOM.
+
+This is BQT's replacement for the browser DOM Selenium would provide.  It
+is built on the standard library's tolerant tokenizer
+(:class:`html.parser.HTMLParser`) and supports the small CSS-selector
+subset a scraper needs:
+
+* ``tag``, ``.class``, ``#id``, ``tag.class``, ``tag#id``
+* attribute filters ``[name]`` and ``[name=value]``
+* descendant combination with whitespace (``form .plan-row``)
+
+Unclosed tags (``<li>``, ``<p>``, void elements) are handled the way
+browsers do, because real BAT markup is never pristine.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+from ..errors import BqtError
+
+__all__ = ["DomNode", "parse_html", "Selector"]
+
+_VOID_ELEMENTS = frozenset(
+    "area base br col embed hr img input link meta param source track wbr".split()
+)
+# Elements whose open tag implicitly closes a same-tag ancestor.
+_AUTOCLOSE_SIBLINGS = frozenset({"li", "option", "tr", "td", "th", "p"})
+
+
+class DomNode:
+    """One element or text node of the parsed document."""
+
+    __slots__ = ("tag", "attrs", "children", "parent", "text")
+
+    def __init__(
+        self,
+        tag: str | None,
+        attrs: dict[str, str] | None = None,
+        text: str = "",
+    ) -> None:
+        self.tag = tag  # None for text nodes
+        self.attrs = attrs or {}
+        self.children: list[DomNode] = []
+        self.parent: DomNode | None = None
+        self.text = text
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_text(self) -> bool:
+        return self.tag is None
+
+    @property
+    def classes(self) -> frozenset[str]:
+        return frozenset(self.attrs.get("class", "").split())
+
+    def attr(self, name: str, default: str | None = None) -> str | None:
+        return self.attrs.get(name, default)
+
+    def full_text(self) -> str:
+        """All descendant text, whitespace-normalized."""
+        parts: list[str] = []
+        self._collect_text(parts)
+        return " ".join(" ".join(parts).split())
+
+    def _collect_text(self, parts: list[str]) -> None:
+        if self.is_text:
+            if self.text.strip():
+                parts.append(self.text.strip())
+            return
+        for child in self.children:
+            child._collect_text(parts)
+
+    # ------------------------------------------------------------------
+    # Traversal / querying
+    # ------------------------------------------------------------------
+    def walk(self):
+        """Yield this node and every descendant element (no text nodes)."""
+        if not self.is_text:
+            yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def select(self, selector: str) -> list["DomNode"]:
+        """All descendant elements matching a CSS-lite selector."""
+        return Selector(selector).select(self)
+
+    def select_one(self, selector: str) -> "DomNode | None":
+        matches = self.select(selector)
+        return matches[0] if matches else None
+
+    def find_forms(self) -> list["DomNode"]:
+        return self.select("form")
+
+    def form_fields(self) -> dict[str, str]:
+        """Default field values of a form element (inputs and selects)."""
+        if self.tag != "form":
+            raise BqtError("form_fields() called on a non-form node")
+        fields: dict[str, str] = {}
+        for node in self.walk():
+            name = node.attr("name")
+            if not name:
+                continue
+            if node.tag == "input":
+                fields[name] = node.attr("value", "") or ""
+            elif node.tag == "select":
+                selected = ""
+                for option in node.select("option"):
+                    if "selected" in option.attrs:
+                        selected = option.attr("value", "") or ""
+                        break
+                fields[name] = selected
+        return fields
+
+    def __repr__(self) -> str:
+        if self.is_text:
+            snippet = self.text.strip()[:30]
+            return f"DomNode(text={snippet!r})"
+        ident = f"#{self.attrs['id']}" if "id" in self.attrs else ""
+        cls = "." + ".".join(sorted(self.classes)) if self.classes else ""
+        return f"DomNode(<{self.tag}{ident}{cls}> children={len(self.children)})"
+
+
+class _SimplePart:
+    """One compound selector: tag?, id?, classes, attribute filters."""
+
+    __slots__ = ("tag", "node_id", "classes", "attr_filters")
+
+    def __init__(self, token: str) -> None:
+        self.tag: str | None = None
+        self.node_id: str | None = None
+        self.classes: list[str] = []
+        self.attr_filters: list[tuple[str, str | None]] = []
+        self._parse(token)
+
+    def _parse(self, token: str) -> None:
+        rest = token
+        # Attribute filters first: [name] or [name=value]
+        while "[" in rest:
+            head, _, bracket = rest.partition("[")
+            inner, closing, tail = bracket.partition("]")
+            if not closing:
+                raise BqtError(f"unterminated attribute filter in selector: {token!r}")
+            if "=" in inner:
+                attr_name, _, attr_value = inner.partition("=")
+                self.attr_filters.append(
+                    (attr_name.strip(), attr_value.strip().strip("'\""))
+                )
+            else:
+                self.attr_filters.append((inner.strip(), None))
+            rest = head + tail
+        # Then tag/#id/.class
+        buffer = ""
+        mode = "tag"
+        for char in rest + "\0":
+            if char in ("#", ".", "\0"):
+                if buffer:
+                    if mode == "tag":
+                        self.tag = buffer.lower()
+                    elif mode == "id":
+                        self.node_id = buffer
+                    else:
+                        self.classes.append(buffer)
+                buffer = ""
+                mode = "id" if char == "#" else "class"
+            else:
+                buffer += char
+
+    def matches(self, node: DomNode) -> bool:
+        if node.is_text:
+            return False
+        if self.tag is not None and node.tag != self.tag:
+            return False
+        if self.node_id is not None and node.attr("id") != self.node_id:
+            return False
+        if self.classes and not set(self.classes) <= node.classes:
+            return False
+        for attr_name, attr_value in self.attr_filters:
+            actual = node.attr(attr_name)
+            if actual is None:
+                return False
+            if attr_value is not None and actual != attr_value:
+                return False
+        return True
+
+
+class Selector:
+    """A parsed CSS-lite selector (descendant combinators only)."""
+
+    def __init__(self, selector: str) -> None:
+        tokens = selector.split()
+        if not tokens:
+            raise BqtError("empty selector")
+        self._parts = [_SimplePart(token) for token in tokens]
+
+    def select(self, root: DomNode) -> list[DomNode]:
+        current = [root]
+        for depth, part in enumerate(self._parts):
+            matched: list[DomNode] = []
+            seen: set[int] = set()
+            for base in current:
+                for node in base.walk():
+                    if depth == 0 and node is base and base.parent is not None:
+                        # Match against descendants of the queried node,
+                        # but allow the document root itself.
+                        continue
+                    if id(node) in seen:
+                        continue
+                    if part.matches(node):
+                        matched.append(node)
+                        seen.add(id(node))
+            current = matched
+            if not current:
+                return []
+        return current
+
+
+class _TreeBuilder(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root = DomNode("document")
+        self._stack: list[DomNode] = [self.root]
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        tag = tag.lower()
+        if tag in _AUTOCLOSE_SIBLINGS and self._stack[-1].tag == tag:
+            self._stack.pop()
+        node = DomNode(tag, {k: (v if v is not None else "") for k, v in attrs})
+        node.parent = self._stack[-1]
+        self._stack[-1].children.append(node)
+        if tag not in _VOID_ELEMENTS:
+            self._stack.append(node)
+
+    def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        node = DomNode(tag.lower(), {k: (v if v is not None else "") for k, v in attrs})
+        node.parent = self._stack[-1]
+        self._stack[-1].children.append(node)
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if tag in _VOID_ELEMENTS:
+            return
+        # Pop to the matching open tag, tolerating mismatched nesting.
+        for i in range(len(self._stack) - 1, 0, -1):
+            if self._stack[i].tag == tag:
+                del self._stack[i:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if data:
+            text = DomNode(None, text=data)
+            text.parent = self._stack[-1]
+            self._stack[-1].children.append(text)
+
+
+def parse_html(markup: str) -> DomNode:
+    """Parse HTML into a DOM tree rooted at a synthetic ``document`` node."""
+    builder = _TreeBuilder()
+    builder.feed(markup)
+    builder.close()
+    return builder.root

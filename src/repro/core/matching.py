@@ -1,0 +1,127 @@
+"""String matching for address-suggestion resolution.
+
+When a BAT cannot verify an input address it offers a list of suggestions;
+BQT "appl[ies] string-matching over each suggested address in this list to
+find the one that best matches the input street address", then sanity-checks
+that the selected suggestion keeps the queried ZIP code (Section 3.3).
+
+The scorer combines token-level and character-level similarity after USPS
+normalization, so abbreviation variants score ~1.0 while genuinely
+different streets score low.  Implemented from scratch (no external fuzzy-
+matching dependency): Levenshtein via the classic two-row DP.
+"""
+
+from __future__ import annotations
+
+from ..addresses.normalize import normalize_street_line, normalize_zip
+
+__all__ = [
+    "levenshtein",
+    "string_similarity",
+    "token_similarity",
+    "address_similarity",
+    "best_suggestion",
+    "DEFAULT_ACCEPT_THRESHOLD",
+]
+
+# Minimum combined similarity for a suggestion to be accepted.  Below this,
+# BQT treats the query as unresolvable rather than risk recording plans for
+# the wrong home.
+DEFAULT_ACCEPT_THRESHOLD = 0.62
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance between two strings (two-row dynamic program).
+
+    >>> levenshtein("magnolia", "magnola")
+    1
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            replace_cost = previous[j - 1] + (char_a != char_b)
+            current.append(min(insert_cost, delete_cost, replace_cost))
+        previous = current
+    return previous[-1]
+
+
+def string_similarity(a: str, b: str) -> float:
+    """Character-level similarity in [0, 1] from edit distance."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def token_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of the token sets of two street lines."""
+    tokens_a = set(a.split())
+    tokens_b = set(b.split())
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+def address_similarity(query_line: str, candidate_line: str) -> float:
+    """Combined similarity of two street lines after normalization.
+
+    The house number is weighted separately: a suggestion with a different
+    house number is a different home even if the street matches exactly.
+    """
+    query = normalize_street_line(query_line)
+    candidate = normalize_street_line(candidate_line)
+    if query == candidate:
+        return 1.0
+
+    query_tokens = query.split()
+    candidate_tokens = candidate.split()
+    query_number = query_tokens[0] if query_tokens and query_tokens[0].isdigit() else ""
+    candidate_number = (
+        candidate_tokens[0] if candidate_tokens and candidate_tokens[0].isdigit() else ""
+    )
+    number_score = 1.0 if query_number == candidate_number else 0.0
+
+    query_street = " ".join(t for t in query_tokens if t != query_number)
+    candidate_street = " ".join(t for t in candidate_tokens if t != candidate_number)
+    street_score = 0.5 * string_similarity(query_street, candidate_street) + 0.5 * (
+        token_similarity(query_street, candidate_street)
+    )
+    return 0.35 * number_score + 0.65 * street_score
+
+
+def best_suggestion(
+    query_line: str,
+    query_zip: str,
+    suggestions: list[tuple[str, str]],
+    threshold: float = DEFAULT_ACCEPT_THRESHOLD,
+) -> int | None:
+    """Pick the best suggestion index, or None if nothing is acceptable.
+
+    Suggestions whose ZIP differs from the queried ZIP are discarded before
+    scoring (the paper's sanity check: "we ensure that the selected street
+    addresses have the same zip code as our initially queried address").
+    """
+    query_zip5 = normalize_zip(query_zip)
+    best_index: int | None = None
+    best_score = threshold
+    for index, (line, zip_code) in enumerate(suggestions):
+        if normalize_zip(zip_code) != query_zip5:
+            continue
+        score = address_similarity(query_line, line)
+        if score > best_score:
+            best_score = score
+            best_index = index
+    return best_index

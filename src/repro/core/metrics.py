@@ -1,0 +1,102 @@
+"""BQT performance metrics: hit rate and query resolution time.
+
+These are the two microbenchmark metrics of Figure 2: the fraction of
+queried addresses for which BQT successfully extracts a definitive answer
+(hit rate, Figure 2a) and the distribution of end-to-end time per query
+(Figure 2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InsufficientDataError
+from .workflow import QueryResult
+
+__all__ = ["HitRateReport", "QueryTimeStats", "hit_rate_report", "query_time_stats"]
+
+
+@dataclass(frozen=True)
+class HitRateReport:
+    """Hit rates per ISP (Figure 2a)."""
+
+    totals: dict[str, int]
+    hits: dict[str, int]
+
+    def hit_rate(self, isp: str) -> float:
+        total = self.totals.get(isp, 0)
+        if total == 0:
+            raise InsufficientDataError(f"no queries recorded for {isp}")
+        return self.hits.get(isp, 0) / total
+
+    @property
+    def isps(self) -> tuple[str, ...]:
+        return tuple(sorted(self.totals))
+
+    def overall(self) -> float:
+        total = sum(self.totals.values())
+        if total == 0:
+            raise InsufficientDataError("no queries recorded")
+        return sum(self.hits.values()) / total
+
+    def as_rows(self) -> list[tuple[str, int, int, float]]:
+        """(isp, queries, hits, hit_rate_percent) rows for reporting."""
+        return [
+            (isp, self.totals[isp], self.hits.get(isp, 0), 100.0 * self.hit_rate(isp))
+            for isp in self.isps
+        ]
+
+
+@dataclass(frozen=True)
+class QueryTimeStats:
+    """Query-resolution-time distribution for one ISP (Figure 2b)."""
+
+    isp: str
+    times: tuple[float, ...]
+
+    def _require_data(self) -> np.ndarray:
+        if not self.times:
+            raise InsufficientDataError(f"no query times recorded for {self.isp}")
+        return np.asarray(self.times)
+
+    def median(self) -> float:
+        return float(np.median(self._require_data()))
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self._require_data(), q))
+
+    def mean(self) -> float:
+        return float(self._require_data().mean())
+
+    def cdf(self, grid: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF evaluated on ``grid`` (default: the sorted times)."""
+        data = np.sort(self._require_data())
+        if grid is None:
+            grid = data
+        fractions = np.searchsorted(data, grid, side="right") / len(data)
+        return np.asarray(grid, dtype=float), fractions
+
+
+def hit_rate_report(results: list[QueryResult]) -> HitRateReport:
+    """Aggregate query results into a per-ISP hit-rate report."""
+    totals: dict[str, int] = {}
+    hits: dict[str, int] = {}
+    for result in results:
+        totals[result.isp] = totals.get(result.isp, 0) + 1
+        if result.is_hit:
+            hits[result.isp] = hits.get(result.isp, 0) + 1
+    return HitRateReport(totals=totals, hits=hits)
+
+
+def query_time_stats(
+    results: list[QueryResult], isp: str, hits_only: bool = True
+) -> QueryTimeStats:
+    """Collect the query-time distribution for one ISP."""
+    times = tuple(
+        r.elapsed_seconds
+        for r in results
+        if r.isp == isp and (r.is_hit or not hits_only)
+    )
+    return QueryTimeStats(isp=isp, times=times)

@@ -1,0 +1,134 @@
+"""BAT template-drift monitoring.
+
+The paper's Limitations section: "To ensure that BQT continues to function
+properly over time, we must monitor the BATs for all the supported ISPs
+and upgrade BQT as necessary to accommodate any changes."  This module is
+that monitor: it probes each ISP's landing page and a canary query, checks
+that every response still classifies under the template registry, and
+reports per-ISP health.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isp.providers import get_isp
+from ..net.clock import VirtualClock
+from ..net.transport import Transport
+from .templates import TemplateKind, classify_page
+from .webdriver import Browser
+from .workflow import QueryWorkflow
+
+__all__ = ["BatHealth", "MonitorReport", "BatMonitor"]
+
+STATUS_OK = "ok"
+STATUS_TEMPLATE_DRIFT = "template_drift"
+STATUS_UNREACHABLE = "unreachable"
+
+
+@dataclass(frozen=True)
+class BatHealth:
+    """Health of one ISP's BAT as seen by the monitor."""
+
+    isp: str
+    status: str
+    home_template: str
+    canary_status: str | None = None
+    detail: str = ""
+
+    @property
+    def healthy(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class MonitorReport:
+    """Aggregate monitoring sweep outcome."""
+
+    checks: list[BatHealth] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return all(check.healthy for check in self.checks)
+
+    def unhealthy_isps(self) -> tuple[str, ...]:
+        return tuple(c.isp for c in self.checks if not c.healthy)
+
+
+class BatMonitor:
+    """Sweeps every registered BAT for reachability and template drift."""
+
+    def __init__(self, transport: Transport, client_ip: str = "73.0.0.250") -> None:
+        self._transport = transport
+        self._client_ip = client_ip
+
+    def check_isp(
+        self,
+        isp_name: str,
+        canary_line: str | None = None,
+        canary_zip: str | None = None,
+    ) -> BatHealth:
+        """Probe one BAT: home page classification + optional canary query.
+
+        The canary is a known-good address whose query should terminate in
+        a recognized state; any UNKNOWN template on the way means the ISP
+        redesigned a page and the registry needs updating.
+        """
+        host = get_isp(isp_name).bat_hostname
+        if not self._transport.knows_host(host):
+            return BatHealth(
+                isp=isp_name,
+                status=STATUS_UNREACHABLE,
+                home_template="",
+                detail=f"no route to {host}",
+            )
+        browser = Browser(self._transport, self._client_ip, VirtualClock())
+        browser.get(host, "/")
+        home_template = classify_page(browser.markup)
+        if home_template != TemplateKind.HOME:
+            return BatHealth(
+                isp=isp_name,
+                status=STATUS_TEMPLATE_DRIFT,
+                home_template=home_template,
+                detail="landing page no longer matches the HOME signature",
+            )
+        if canary_line is None or canary_zip is None:
+            return BatHealth(
+                isp=isp_name, status=STATUS_OK, home_template=home_template
+            )
+
+        import numpy as np
+
+        workflow = QueryWorkflow(browser, np.random.default_rng(0))
+        result = workflow.run(isp_name, host, canary_line, canary_zip)
+        drifted = (
+            result.status
+            in ("unknown_template", "malformed_page")
+            or TemplateKind.UNKNOWN in result.steps
+        )
+        return BatHealth(
+            isp=isp_name,
+            status=STATUS_TEMPLATE_DRIFT if drifted else STATUS_OK,
+            home_template=home_template,
+            canary_status=result.status,
+            detail="canary hit an unrecognized or unparsable page" if drifted else "",
+        )
+
+    def sweep(
+        self,
+        isps: tuple[str, ...],
+        canaries: dict[str, tuple[str, str]] | None = None,
+    ) -> MonitorReport:
+        """Check a set of ISPs; ``canaries`` maps ISP -> (line, zip)."""
+        canaries = canaries or {}
+        report = MonitorReport()
+        for isp in isps:
+            line_zip = canaries.get(isp)
+            report.checks.append(
+                self.check_isp(
+                    isp,
+                    canary_line=line_zip[0] if line_zip else None,
+                    canary_zip=line_zip[1] if line_zip else None,
+                )
+            )
+        return report

@@ -1,0 +1,136 @@
+"""Plan extraction from BAT plans pages.
+
+Handles both markup families the ISPs use (``<table class="plans-table">``
+rows and ``<div class="plan-card">`` cards) plus the speed/price formats
+("300 Mbps", "768 Kbps", "$55.00/mo").  The output is BQT's own
+:class:`ObservedPlan` record — deliberately independent of
+:class:`repro.isp.plans.Plan`, because the scraper must not share types
+with the ground truth it is measuring.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import PlanParseError
+from .dom import DomNode
+
+__all__ = ["ObservedPlan", "parse_plans_page", "parse_speed", "parse_price"]
+
+_SPEED_RE = re.compile(r"([\d.]+)\s*(kbps|mbps|gbps)", re.IGNORECASE)
+_PRICE_RE = re.compile(r"\$\s*([\d,]+(?:\.\d+)?)")
+
+
+@dataclass(frozen=True)
+class ObservedPlan:
+    """One plan as scraped from a BAT plans page."""
+
+    name: str
+    download_mbps: float
+    upload_mbps: float
+    monthly_price: float
+
+    @property
+    def cv(self) -> float:
+        """Carriage value: download Mbps per dollar per month."""
+        return self.download_mbps / self.monthly_price
+
+    @property
+    def upload_cv(self) -> float:
+        return self.upload_mbps / self.monthly_price
+
+    @property
+    def looks_symmetric(self) -> bool:
+        """Symmetric up/down speeds — the fingerprint of a fiber plan."""
+        if self.download_mbps <= 0:
+            return False
+        return abs(self.upload_mbps - self.download_mbps) / self.download_mbps < 0.15
+
+
+def parse_speed(text: str) -> float:
+    """Extract a speed in Mbps from marketing text.
+
+    >>> parse_speed("768 Kbps")
+    0.768
+    >>> parse_speed("1 Gbps download")
+    1000.0
+    """
+    match = _SPEED_RE.search(text)
+    if not match:
+        raise PlanParseError(f"no speed found in {text!r}")
+    value = float(match.group(1))
+    unit = match.group(2).lower()
+    if unit == "kbps":
+        return value / 1000.0
+    if unit == "gbps":
+        return value * 1000.0
+    return value
+
+
+def parse_price(text: str) -> float:
+    """Extract a monthly price in dollars from marketing text.
+
+    >>> parse_price("$55.00/mo")
+    55.0
+    """
+    match = _PRICE_RE.search(text)
+    if not match:
+        raise PlanParseError(f"no price found in {text!r}")
+    return float(match.group(1).replace(",", ""))
+
+
+def _parse_table_rows(document: DomNode) -> list[ObservedPlan]:
+    plans = []
+    for row in document.select("tr.plan-row"):
+        name_cell = row.select_one(".plan-name")
+        down_cell = row.select_one(".plan-download")
+        up_cell = row.select_one(".plan-upload")
+        price_cell = row.select_one(".plan-price")
+        if not (name_cell and down_cell and up_cell and price_cell):
+            raise PlanParseError(f"incomplete plan row: {row.full_text()[:80]!r}")
+        plans.append(
+            ObservedPlan(
+                name=name_cell.full_text(),
+                download_mbps=parse_speed(down_cell.full_text()),
+                upload_mbps=parse_speed(up_cell.full_text()),
+                monthly_price=parse_price(price_cell.full_text()),
+            )
+        )
+    return plans
+
+
+def _parse_cards(document: DomNode) -> list[ObservedPlan]:
+    plans = []
+    for card in document.select("div.plan-card"):
+        name_node = card.select_one(".plan-name")
+        down_node = card.select_one(".plan-download")
+        up_node = card.select_one(".plan-upload")
+        price_node = card.select_one(".plan-price")
+        if not (name_node and down_node and up_node and price_node):
+            raise PlanParseError(f"incomplete plan card: {card.full_text()[:80]!r}")
+        plans.append(
+            ObservedPlan(
+                name=name_node.full_text(),
+                download_mbps=parse_speed(down_node.full_text()),
+                upload_mbps=parse_speed(up_node.full_text()),
+                monthly_price=parse_price(price_node.full_text()),
+            )
+        )
+    return plans
+
+
+def parse_plans_page(document: DomNode) -> list[ObservedPlan]:
+    """Extract every plan from a parsed plans page.
+
+    Raises:
+        PlanParseError: If the page matches neither markup family or a plan
+            entry is missing a required field — the signal that an ISP
+            changed its template.
+    """
+    plans = _parse_table_rows(document)
+    if not plans:
+        plans = _parse_cards(document)
+    if not plans:
+        raise PlanParseError("no plan rows or plan cards found on plans page")
+    return plans

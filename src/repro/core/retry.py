@@ -1,0 +1,115 @@
+"""Retry policy with residential-IP rotation.
+
+When a BAT blocks a client (rate limit or cookie anomaly), the operational
+response is to lease a fresh residential exit IP and retry — the reason the
+paper routes traffic through the Bright Data pool in the first place.
+:class:`RetryingQueryClient` wraps a transport + proxy pool and applies
+that policy; transient technical errors are retried in place (they are
+sticky per address in our BATs, so one retry suffices to confirm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..net.proxy import ResidentialProxyPool
+from ..net.transport import Transport
+from ..seeding import derive_seed
+from .bqt import BroadbandQueryTool
+from .workflow import QueryResult, QueryStatus
+
+__all__ = ["RetryPolicy", "RetryingQueryClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What to retry, and how often.
+
+    Attributes:
+        max_attempts: Total attempts per query (1 = no retries).
+        rotate_ip_on_block: Lease a fresh exit IP after a BLOCKED result.
+        retry_statuses: Statuses worth retrying at all.
+        backoff_seconds: Pause (on the worker's clock) before a retry.
+    """
+
+    max_attempts: int = 3
+    rotate_ip_on_block: bool = True
+    retry_statuses: tuple[str, ...] = (
+        QueryStatus.BLOCKED,
+        QueryStatus.TECHNICAL_ERROR,
+        QueryStatus.UNKNOWN_TEMPLATE,
+    )
+    backoff_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ConfigurationError("backoff_seconds must be >= 0")
+
+
+class RetryingQueryClient:
+    """A BQT client that survives blocks by rotating residential IPs."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        pool: ResidentialProxyPool,
+        policy: RetryPolicy | None = None,
+        seed: int = 0,
+        politeness_seconds: float = 5.0,
+    ) -> None:
+        self._transport = transport
+        self._pool = pool
+        self.policy = policy or RetryPolicy()
+        self._seed = seed
+        self._politeness = politeness_seconds
+        self._current_ip = pool.acquire()
+        self._tool = self._make_tool()
+        self.rotations = 0
+
+    def _make_tool(self) -> BroadbandQueryTool:
+        return BroadbandQueryTool(
+            self._transport,
+            client_ip=self._current_ip,
+            seed=derive_seed(self._seed, "retry-client", self._current_ip),
+            politeness_seconds=self._politeness,
+        )
+
+    @property
+    def client_ip(self) -> str:
+        return self._current_ip
+
+    def close(self) -> None:
+        """Return the leased IP to the pool."""
+        self._pool.release(self._current_ip)
+
+    def __enter__(self) -> "RetryingQueryClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _rotate_ip(self) -> None:
+        self._current_ip = self._pool.rotate(self._current_ip)
+        self._tool = self._make_tool()
+        self.rotations += 1
+
+    def query(self, isp: str, street_line: str, zip_code: str) -> QueryResult:
+        """Query with retries; returns the last attempt's result."""
+        result = self._tool.query(isp, street_line, zip_code)
+        attempts = 1
+        while (
+            attempts < self.policy.max_attempts
+            and result.status in self.policy.retry_statuses
+        ):
+            if (
+                result.status == QueryStatus.BLOCKED
+                and self.policy.rotate_ip_on_block
+            ):
+                self._rotate_ip()
+            self._tool.clock.sleep(self.policy.backoff_seconds)
+            result = self._tool.query(isp, street_line, zip_code)
+            attempts += 1
+        return result

@@ -1,0 +1,83 @@
+"""BAT page-template classification.
+
+The paper's tool bootstraps by manually enumerating every template each
+BAT can render and identifying "unique patterns in their HTML content using
+regular expressions to help detect them at runtime" (Section 3.3).  This
+module is that registry.  Signatures are ordered: the first match wins, and
+the more specific outcome pages are checked before the generic home page.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["TemplateKind", "classify_page", "SIGNATURES"]
+
+
+class TemplateKind:
+    """The logical page types a BAT can render (plain-string enum)."""
+
+    HOME = "home"
+    PLANS = "plans"
+    SUGGESTIONS = "suggestions"
+    MDU = "mdu"
+    EXISTING_CUSTOMER = "existing_customer"
+    NO_SERVICE = "no_service"
+    NOT_FOUND = "not_found"
+    TECHNICAL_ERROR = "technical_error"
+    BLOCKED = "blocked"
+    UNKNOWN = "unknown"
+
+    ALL = (
+        HOME,
+        PLANS,
+        SUGGESTIONS,
+        MDU,
+        EXISTING_CUSTOMER,
+        NO_SERVICE,
+        NOT_FOUND,
+        TECHNICAL_ERROR,
+        BLOCKED,
+    )
+
+
+# Each entry: (kind, compiled signature).  Multiple signatures per kind
+# cover ISP-to-ISP phrasing differences; matching is first-hit so outcome
+# pages precede the HOME form (which also appears nowhere else).
+SIGNATURES: tuple[tuple[str, re.Pattern[str]], ...] = tuple(
+    (kind, re.compile(pattern, re.IGNORECASE | re.DOTALL))
+    for kind, pattern in (
+        (TemplateKind.BLOCKED, r'class="access-blocked"'),
+        (TemplateKind.BLOCKED, r"unusual activity detected"),
+        (TemplateKind.TECHNICAL_ERROR, r'class="technical-error"'),
+        (TemplateKind.TECHNICAL_ERROR, r"reference code:\s*svc-\d+"),
+        (TemplateKind.PLANS, r'class="plans-table"'),
+        (TemplateKind.PLANS, r'class="plan-grid"'),
+        (TemplateKind.PLANS, r"plans available at your address"),
+        (TemplateKind.SUGGESTIONS, r'class="address-suggestions"'),
+        (TemplateKind.SUGGESTIONS, r"did you mean one of the following"),
+        (TemplateKind.MDU, r'class="multi-dwelling"'),
+        (TemplateKind.MDU, r"has multiple units"),
+        (TemplateKind.EXISTING_CUSTOMER, r'class="existing-customer"'),
+        (TemplateKind.EXISTING_CUSTOMER, r"active account already receives service"),
+        (TemplateKind.NO_SERVICE, r'class="no-service"'),
+        (TemplateKind.NO_SERVICE, r"not available at\b"),
+        (TemplateKind.NOT_FOUND, r'class="address-error"'),
+        (TemplateKind.NOT_FOUND, r"couldn't find that address"),
+        (TemplateKind.HOME, r'id="availability-form"'),
+        (TemplateKind.HOME, r"check availability in your area"),
+    )
+)
+
+
+def classify_page(markup: str) -> str:
+    """Classify raw page markup into a :class:`TemplateKind` value.
+
+    Returns :data:`TemplateKind.UNKNOWN` when no signature matches (the
+    signal that an ISP changed its BAT and the registry needs updating —
+    the maintenance mode the paper's Limitations section describes).
+    """
+    for kind, signature in SIGNATURES:
+        if signature.search(markup):
+            return kind
+    return TemplateKind.UNKNOWN

@@ -1,0 +1,268 @@
+"""The multi-step BAT query workflow — the heart of BQT.
+
+Drives one address query through an ISP's BAT exactly as Section 3.3
+describes: load the landing page, discover and fill the address form,
+then react to whatever template the BAT renders next:
+
+* *suggestions* — string-match the input against the suggestion list (with
+  the ZIP sanity check) and select the best candidate;
+* *multi-dwelling unit* — select a random unit, as the paper does;
+* *existing customer* — proceed as a new customer (no authentication);
+* *plans* — parse the plan rows: success;
+* *no service* — a definitive negative answer: also a successful query;
+* errors/blocks — recorded with a machine-readable failure reason.
+
+Form fields are discovered from the live DOM (label text and input order),
+never hard-coded per ISP, so the workflow survives field-name differences
+between BATs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import BqtError, PlanParseError
+from .dom import DomNode
+from .matching import best_suggestion
+from .parsing import ObservedPlan, parse_plans_page
+from .templates import TemplateKind, classify_page
+from .webdriver import Browser
+
+__all__ = ["QueryStatus", "QueryResult", "QueryWorkflow"]
+
+_MAX_STEPS = 8
+
+
+class QueryStatus:
+    """Terminal states of one address query (plain-string enum)."""
+
+    PLANS = "plans"
+    NO_SERVICE = "no_service"
+    NOT_FOUND = "not_found"
+    NO_SUGGESTION_MATCH = "no_suggestion_match"
+    TECHNICAL_ERROR = "technical_error"
+    BLOCKED = "blocked"
+    UNKNOWN_TEMPLATE = "unknown_template"
+    MALFORMED_PAGE = "malformed_page"
+    LOST = "lost"
+
+    HITS = (PLANS, NO_SERVICE)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one (ISP, address) query."""
+
+    isp: str
+    input_line: str
+    input_zip: str
+    status: str
+    plans: tuple[ObservedPlan, ...] = ()
+    elapsed_seconds: float = 0.0
+    steps: tuple[str, ...] = ()
+    resolved_line: str = ""
+
+    @property
+    def is_hit(self) -> bool:
+        """Did BQT obtain a definitive answer (plans or no-service)?"""
+        return self.status in QueryStatus.HITS
+
+    @property
+    def best_cv(self) -> float | None:
+        """Best carriage value among the observed plans."""
+        if not self.plans:
+            return None
+        return max(plan.cv for plan in self.plans)
+
+
+class QueryWorkflow:
+    """Executes BAT query workflows on a browser session."""
+
+    def __init__(self, browser: Browser, rng: np.random.Generator) -> None:
+        self._browser = browser
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # DOM discovery helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _discover_address_fields(form: DomNode) -> tuple[str, str]:
+        """Find the (address, zip) input names from labels / input order."""
+        inputs = [
+            node
+            for node in form.select("input")
+            if node.attr("type", "text") == "text" and node.attr("name")
+        ]
+        if len(inputs) < 2:
+            raise BqtError("availability form does not have two text inputs")
+        labels = {
+            label.attr("for"): label.full_text().lower()
+            for label in form.select("label")
+            if label.attr("for")
+        }
+        address_name: str | None = None
+        zip_name: str | None = None
+        for node in inputs:
+            label_text = labels.get(node.attr("id") or "", "")
+            if "zip" in label_text or "zip" in (node.attr("name") or "").lower():
+                zip_name = node.attr("name")
+            elif address_name is None:
+                address_name = node.attr("name")
+        if address_name is None or zip_name is None:
+            # Fall back to input order: address first, ZIP second.
+            address_name = inputs[0].attr("name") or ""
+            zip_name = inputs[1].attr("name") or ""
+        return address_name, zip_name
+
+    @staticmethod
+    def _extract_choices(
+        document: DomNode, field_name: str
+    ) -> list[tuple[str, str]]:
+        """Extract (value, text) choices from a select or clickable list."""
+        choices: list[tuple[str, str]] = []
+        for option in document.select(f"select[name={field_name}] option"):
+            value = option.attr("value", "") or ""
+            if value != "":
+                choices.append((value, option.full_text()))
+        if choices:
+            return choices
+        for button in document.select(f"button[name={field_name}]"):
+            value = button.attr("value", "") or ""
+            if value != "":
+                choices.append((value, button.full_text()))
+        return choices
+
+    @staticmethod
+    def _split_suggestion_text(text: str) -> tuple[str, str]:
+        """Split 'street line, ZIP' into its parts (ZIP after last comma)."""
+        line, _, zip_part = text.rpartition(",")
+        if not line:
+            return text.strip(), ""
+        return line.strip(), zip_part.strip()
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def run(self, isp: str, host: str, street_line: str, zip_code: str) -> QueryResult:
+        """Query one address through one ISP's BAT."""
+        browser = self._browser
+        browser.reset_session()
+        started = browser.clock.now()
+        steps: list[str] = []
+
+        def finish(status: str, plans: tuple[ObservedPlan, ...] = (),
+                   resolved: str = "") -> QueryResult:
+            return QueryResult(
+                isp=isp,
+                input_line=street_line,
+                input_zip=zip_code,
+                status=status,
+                plans=plans,
+                elapsed_seconds=browser.clock.now() - started,
+                steps=tuple(steps),
+                resolved_line=resolved,
+            )
+
+        document = browser.get(host, "/")
+        kind = classify_page(browser.markup)
+        steps.append(kind)
+        if kind != TemplateKind.HOME:
+            return finish(
+                QueryStatus.BLOCKED
+                if kind == TemplateKind.BLOCKED
+                else QueryStatus.UNKNOWN_TEMPLATE
+            )
+
+        form = document.select_one("form#availability-form")
+        if form is None:
+            return finish(QueryStatus.MALFORMED_PAGE)
+        address_field, zip_field = self._discover_address_fields(form)
+        browser.submit_form(
+            "form#availability-form",
+            fields={address_field: street_line, zip_field: zip_code},
+        )
+
+        for _ in range(_MAX_STEPS):
+            kind = classify_page(browser.markup)
+            steps.append(kind)
+
+            if kind == TemplateKind.PLANS:
+                try:
+                    plans = tuple(parse_plans_page(browser.document))
+                except PlanParseError:
+                    return finish(QueryStatus.MALFORMED_PAGE)
+                resolved = ""
+                marker = browser.document.select_one(".service-address strong")
+                if marker is not None:
+                    resolved = marker.full_text()
+                return finish(QueryStatus.PLANS, plans=plans, resolved=resolved)
+
+            if kind == TemplateKind.NO_SERVICE:
+                return finish(QueryStatus.NO_SERVICE)
+
+            if kind == TemplateKind.SUGGESTIONS:
+                outcome = self._handle_suggestions(street_line, zip_code)
+                if outcome is not None:
+                    return finish(outcome)
+                continue
+
+            if kind == TemplateKind.MDU:
+                outcome = self._handle_mdu(street_line, zip_code)
+                if outcome is not None:
+                    return finish(outcome)
+                continue
+
+            if kind == TemplateKind.EXISTING_CUSTOMER:
+                if browser.document.select_one("form#new-customer-form") is None:
+                    return finish(QueryStatus.MALFORMED_PAGE)
+                browser.submit_form("form#new-customer-form")
+                continue
+
+            if kind == TemplateKind.NOT_FOUND:
+                return finish(QueryStatus.NOT_FOUND)
+            if kind == TemplateKind.TECHNICAL_ERROR:
+                return finish(QueryStatus.TECHNICAL_ERROR)
+            if kind == TemplateKind.BLOCKED:
+                return finish(QueryStatus.BLOCKED)
+            return finish(QueryStatus.UNKNOWN_TEMPLATE)
+
+        return finish(QueryStatus.LOST)
+
+    # ------------------------------------------------------------------
+    # Interstitial handlers (return a terminal status or None to continue)
+    # ------------------------------------------------------------------
+    def _handle_suggestions(self, street_line: str, zip_code: str) -> str | None:
+        browser = self._browser
+        choices = self._extract_choices(browser.document, "choice")
+        if not choices:
+            return QueryStatus.MALFORMED_PAGE
+        parsed = [self._split_suggestion_text(text) for _, text in choices]
+        index = best_suggestion(street_line, zip_code, parsed)
+        if index is None:
+            return QueryStatus.NO_SUGGESTION_MATCH
+        value = choices[index][0]
+        if browser.document.select_one("select[name=choice]") is not None:
+            browser.select_and_submit("form#suggestion-form", "choice", value)
+        else:
+            browser.click_list_button("form#suggestion-form", "choice", value)
+        return None
+
+    def _handle_mdu(self, street_line: str, zip_code: str) -> str | None:
+        browser = self._browser
+        choices = self._extract_choices(browser.document, "unit")
+        if not choices:
+            return QueryStatus.MALFORMED_PAGE
+        # The paper selects a random unit from the list (Section 3.3).
+        # The draw is keyed to the building so repeated curation runs are
+        # bit-identical regardless of worker/IP assignment.
+        from ..seeding import derive_seed
+
+        draw = derive_seed(0, "mdu-unit", street_line.upper(), zip_code)
+        value = choices[draw % len(choices)][0]
+        if browser.document.select_one("select[name=unit]") is not None:
+            browser.select_and_submit("form#unit-form", "unit", value)
+        else:
+            browser.click_list_button("form#unit-form", "unit", value)
+        return None

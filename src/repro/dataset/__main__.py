@@ -1,0 +1,77 @@
+"""Command-line curation runner.
+
+Builds a world, runs the full Section-4 curation methodology, and writes
+the privacy-preserving dataset release::
+
+    python -m repro.dataset --out dataset.csv --scale 0.1 \
+        --cities new-orleans wichita
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..world import WorldConfig, build_world
+from .curation import CurationConfig, CurationPipeline
+from .io import write_dataset_csv
+from .sampling import SamplingConfig
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dataset",
+        description="Curate a broadband-plans dataset and write the release CSV.",
+    )
+    parser.add_argument("--out", type=Path, default=Path("broadband_plans.csv"))
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="block-group scale factor (1.0 = paper scale)")
+    parser.add_argument("--cities", nargs="*", default=None)
+    parser.add_argument("--isps", nargs="*", default=None)
+    parser.add_argument("--fraction", type=float, default=0.10,
+                        help="per-block-group sampling fraction (paper: 0.10)")
+    parser.add_argument("--min-samples", type=int, default=30,
+                        help="per-block-group sample floor (paper: 30)")
+    parser.add_argument("--workers", type=int, default=50,
+                        help="BQT container-fleet size (paper: 50-100)")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    world = build_world(
+        WorldConfig(
+            seed=args.seed,
+            scale=args.scale,
+            cities=tuple(args.cities) if args.cities else None,
+        )
+    )
+    print(f"world built in {time.time() - started:.0f}s "
+          f"({len(world.cities)} cities)", flush=True)
+
+    pipeline = CurationPipeline(
+        world,
+        CurationConfig(
+            sampling=SamplingConfig(
+                fraction=args.fraction, min_samples=args.min_samples
+            ),
+            n_workers=args.workers,
+        ),
+    )
+    started = time.time()
+    dataset = pipeline.curate(
+        isps=tuple(args.isps) if args.isps else None
+    )
+    counts = dataset.summary_counts()
+    print(f"curated {counts['observations']} observations "
+          f"({counts['addresses']} addresses, {counts['block_groups']} block "
+          f"groups) in {time.time() - started:.0f}s")
+
+    rows = write_dataset_csv(dataset, args.out)
+    print(f"wrote {rows} rows to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""The curated broadband-plans dataset and its aggregation APIs.
+
+The analysis layer (Section 5) consumes block-group-level aggregates:
+median best carriage value, coefficient of variation, and inferred access
+technology.  All of those are derived here from raw address observations,
+following the paper's aggregation choices (Section 5.1): the *best* cv per
+address characterizes the address; the block group is characterized by the
+median of its addresses' best cvs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from .records import AddressObservation
+
+__all__ = ["BroadbandDataset", "BlockGroupAggregate"]
+
+
+@dataclass(frozen=True)
+class BlockGroupAggregate:
+    """Aggregated view of one (city, ISP, block group) cell."""
+
+    city: str
+    isp: str
+    block_group: str
+    n_addresses: int
+    n_with_plans: int
+    median_cv: float | None
+    cov: float | None
+    has_fiber: bool
+
+    @property
+    def served(self) -> bool:
+        return self.n_with_plans > 0
+
+
+class BroadbandDataset:
+    """A set of address observations with block-group aggregation."""
+
+    def __init__(self, observations: tuple[AddressObservation, ...]) -> None:
+        self._observations = observations
+        self._by_city_isp: dict[tuple[str, str], list[AddressObservation]] = (
+            defaultdict(list)
+        )
+        for obs in observations:
+            self._by_city_isp[(obs.city, obs.isp)].append(obs)
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self):
+        return iter(self._observations)
+
+    @property
+    def observations(self) -> tuple[AddressObservation, ...]:
+        return self._observations
+
+    def cities(self) -> tuple[str, ...]:
+        return tuple(sorted({c for c, _ in self._by_city_isp}))
+
+    def isps(self) -> tuple[str, ...]:
+        return tuple(sorted({i for _, i in self._by_city_isp}))
+
+    def isps_in(self, city: str) -> tuple[str, ...]:
+        return tuple(sorted({i for c, i in self._by_city_isp if c == city}))
+
+    def for_city_isp(self, city: str, isp: str) -> tuple[AddressObservation, ...]:
+        return tuple(self._by_city_isp.get((city, isp), ()))
+
+    def merged_with(self, other: "BroadbandDataset") -> "BroadbandDataset":
+        return BroadbandDataset(self._observations + other.observations)
+
+    # ------------------------------------------------------------------
+    # Block-group aggregation
+    # ------------------------------------------------------------------
+    def block_group_best_cvs(self, city: str, isp: str) -> dict[str, list[float]]:
+        """Per block group: the best-cv values of its sampled addresses."""
+        cvs: dict[str, list[float]] = defaultdict(list)
+        for obs in self.for_city_isp(city, isp):
+            best = obs.best_cv
+            if best is not None:
+                cvs[obs.block_group].append(best)
+        return dict(cvs)
+
+    def block_group_median_cv(self, city: str, isp: str) -> dict[str, float]:
+        """Per block group: median of address-level best carriage values.
+
+        This is the paper's headline block-group metric (Section 5.1).
+        """
+        return {
+            geoid: float(np.median(values))
+            for geoid, values in self.block_group_best_cvs(city, isp).items()
+        }
+
+    def block_group_cov(self, city: str, isp: str) -> dict[str, float]:
+        """Per block group: coefficient of variation of best cv (Figure 4)."""
+        covs: dict[str, float] = {}
+        for geoid, values in self.block_group_best_cvs(city, isp).items():
+            array = np.asarray(values)
+            mean = float(array.mean())
+            if mean > 0:
+                covs[geoid] = float(array.std() / mean)
+        return covs
+
+    def block_group_has_fiber(self, city: str, isp: str) -> dict[str, bool]:
+        """Per block group: does any sampled address see a fiber plan?"""
+        fiber: dict[str, bool] = defaultdict(bool)
+        for obs in self.for_city_isp(city, isp):
+            if obs.has_plans:
+                fiber[obs.block_group] |= obs.technology == "fiber"
+        return dict(fiber)
+
+    def aggregates(self, city: str, isp: str) -> tuple[BlockGroupAggregate, ...]:
+        """Full aggregate rows for one (city, ISP) pair."""
+        by_bg: dict[str, list[AddressObservation]] = defaultdict(list)
+        for obs in self.for_city_isp(city, isp):
+            by_bg[obs.block_group].append(obs)
+        rows = []
+        for geoid in sorted(by_bg):
+            observations = by_bg[geoid]
+            cvs = np.asarray(
+                [o.best_cv for o in observations if o.best_cv is not None]
+            )
+            has_fiber = any(
+                o.technology == "fiber" for o in observations if o.has_plans
+            )
+            if cvs.size:
+                median_cv = float(np.median(cvs))
+                mean = float(cvs.mean())
+                cov = float(cvs.std() / mean) if mean > 0 else None
+            else:
+                median_cv = None
+                cov = None
+            rows.append(
+                BlockGroupAggregate(
+                    city=city,
+                    isp=isp,
+                    block_group=geoid,
+                    n_addresses=len(observations),
+                    n_with_plans=int(sum(1 for o in observations if o.has_plans)),
+                    median_cv=median_cv,
+                    cov=cov,
+                    has_fiber=has_fiber,
+                )
+            )
+        return tuple(rows)
+
+    # ------------------------------------------------------------------
+    # Dataset-level summaries
+    # ------------------------------------------------------------------
+    def summary_counts(self) -> dict[str, int]:
+        """Totals used in the Table 2 reproduction."""
+        block_groups = {
+            (o.city, o.block_group) for o in self._observations
+        }
+        return {
+            "observations": len(self._observations),
+            "addresses": len({(o.city, o.address_id) for o in self._observations}),
+            "block_groups": len(block_groups),
+            "cities": len(self.cities()),
+            "isps": len(self.isps()),
+        }
+
+    def require_nonempty(self) -> None:
+        if not self._observations:
+            raise DatasetError("dataset is empty")

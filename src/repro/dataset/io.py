@@ -1,0 +1,107 @@
+"""Dataset serialization (CSV with a JSON plans column).
+
+The release format mirrors the paper's public dataset: hashed address ids,
+block-group geoids, ISP, query status, timing, and the observed plans.  No
+PII and no raw street strings leave the pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..errors import DatasetError
+from .container import BroadbandDataset
+from .records import AddressObservation, PlanObservation
+
+__all__ = ["write_dataset_csv", "read_dataset_csv"]
+
+_COLUMNS = (
+    "address_id",
+    "city",
+    "block_group",
+    "isp",
+    "status",
+    "elapsed_seconds",
+    "plans_json",
+)
+
+
+def _plans_to_json(plans: tuple[PlanObservation, ...]) -> str:
+    return json.dumps(
+        [
+            {
+                "name": p.name,
+                "down": p.download_mbps,
+                "up": p.upload_mbps,
+                "price": p.monthly_price,
+            }
+            for p in plans
+        ],
+        separators=(",", ":"),
+    )
+
+
+def _plans_from_json(payload: str) -> tuple[PlanObservation, ...]:
+    try:
+        rows = json.loads(payload) if payload else []
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"bad plans column: {payload[:60]!r}") from exc
+    return tuple(
+        PlanObservation(
+            name=row["name"],
+            download_mbps=float(row["down"]),
+            upload_mbps=float(row["up"]),
+            monthly_price=float(row["price"]),
+        )
+        for row in rows
+    )
+
+
+def write_dataset_csv(dataset: BroadbandDataset, path: str | Path) -> int:
+    """Write the dataset release file; returns the number of rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        for obs in dataset:
+            writer.writerow(
+                (
+                    obs.address_id,
+                    obs.city,
+                    obs.block_group,
+                    obs.isp,
+                    obs.status,
+                    f"{obs.elapsed_seconds:.3f}",
+                    _plans_to_json(obs.plans),
+                )
+            )
+    return len(dataset)
+
+
+def read_dataset_csv(path: str | Path) -> BroadbandDataset:
+    """Load a dataset release file."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    observations: list[AddressObservation] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_COLUMNS) - set(reader.fieldnames or ())
+        if missing:
+            raise DatasetError(f"dataset file missing columns: {sorted(missing)}")
+        for row in reader:
+            observations.append(
+                AddressObservation(
+                    address_id=row["address_id"],
+                    city=row["city"],
+                    block_group=row["block_group"],
+                    isp=row["isp"],
+                    status=row["status"],
+                    plans=_plans_from_json(row["plans_json"]),
+                    elapsed_seconds=float(row["elapsed_seconds"]),
+                )
+            )
+    return BroadbandDataset(tuple(observations))

@@ -1,0 +1,124 @@
+"""Dataset record types.
+
+The curated dataset is a flat table of *address observations* — one row per
+(street address, ISP) query — with plan details attached.  Address
+identities are salted hashes, mirroring the paper's privacy-preserving
+public release (Section 4.1: "converting each street address within a
+census block group into a unique identifier using a hashing process").
+
+Technology inference: the dataset layer never sees ground truth, so access
+technology is inferred from plan shape the way a measurement researcher
+would — symmetric up/down speeds fingerprint fiber, heavily asymmetric
+sub-120 Mbps plans fingerprint DSL, and cable ISPs are known to be cable
+from the provider registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.parsing import ObservedPlan
+from ..isp.providers import is_cable
+
+__all__ = ["PlanObservation", "AddressObservation", "infer_technology"]
+
+TECH_FIBER = "fiber"
+TECH_DSL = "dsl"
+TECH_CABLE = "cable"
+TECH_UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class PlanObservation:
+    """One plan as recorded in the curated dataset."""
+
+    name: str
+    download_mbps: float
+    upload_mbps: float
+    monthly_price: float
+
+    @property
+    def cv(self) -> float:
+        """Carriage value (download Mbps per dollar per month)."""
+        return self.download_mbps / self.monthly_price
+
+    @property
+    def upload_cv(self) -> float:
+        return self.upload_mbps / self.monthly_price
+
+    @classmethod
+    def from_observed(cls, plan: ObservedPlan) -> "PlanObservation":
+        return cls(
+            name=plan.name,
+            download_mbps=plan.download_mbps,
+            upload_mbps=plan.upload_mbps,
+            monthly_price=plan.monthly_price,
+        )
+
+
+def infer_technology(isp: str, plans: tuple[PlanObservation, ...]) -> str:
+    """Infer access technology from the observed plan shapes.
+
+    For cable providers the registry answers directly.  For telcos, a
+    symmetric top plan indicates fiber; an asymmetric low-speed profile
+    indicates DSL.
+    """
+    if is_cable(isp):
+        return TECH_CABLE
+    if not plans:
+        return TECH_UNKNOWN
+    best = max(plans, key=lambda p: p.download_mbps)
+    if best.download_mbps > 0 and (
+        abs(best.upload_mbps - best.download_mbps) / best.download_mbps < 0.15
+    ):
+        return TECH_FIBER
+    return TECH_DSL
+
+
+@dataclass(frozen=True)
+class AddressObservation:
+    """One (address, ISP) query outcome in the curated dataset.
+
+    Attributes:
+        address_id: Salted hash of the canonical address (privacy release).
+        city: Canonical city key.
+        block_group: Geoid of the containing block group (the Zillow feed
+            is geocoded, so the sampler knows this without de-anonymizing).
+        isp: Canonical ISP key.
+        status: Terminal :class:`~repro.core.workflow.QueryStatus` value.
+        plans: Plans observed (empty unless ``status == "plans"``).
+        elapsed_seconds: Query resolution time (virtual seconds).
+    """
+
+    address_id: str
+    city: str
+    block_group: str
+    isp: str
+    status: str
+    plans: tuple[PlanObservation, ...]
+    elapsed_seconds: float
+
+    @property
+    def is_hit(self) -> bool:
+        return self.status in ("plans", "no_service")
+
+    @property
+    def has_plans(self) -> bool:
+        return bool(self.plans)
+
+    @property
+    def best_cv(self) -> float | None:
+        """Best carriage value offered at this address (None if no plans)."""
+        if not self.plans:
+            return None
+        return max(plan.cv for plan in self.plans)
+
+    @property
+    def best_upload_cv(self) -> float | None:
+        if not self.plans:
+            return None
+        return max(plan.upload_cv for plan in self.plans)
+
+    @property
+    def technology(self) -> str:
+        return infer_technology(self.isp, self.plans)

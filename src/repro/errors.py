@@ -1,0 +1,88 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class GeographyError(ReproError):
+    """Errors from the synthetic census-geography substrate."""
+
+
+class UnknownCityError(GeographyError):
+    """A city name was not found in the city registry."""
+
+    def __init__(self, city: str) -> None:
+        super().__init__(f"unknown city: {city!r}")
+        self.city = city
+
+
+class AddressError(ReproError):
+    """Errors from the synthetic street-address substrate."""
+
+
+class IspError(ReproError):
+    """Errors from the ISP deployment / plan substrate."""
+
+
+class UnknownIspError(IspError):
+    """An ISP name was not found in the ISP registry."""
+
+    def __init__(self, isp: str) -> None:
+        super().__init__(f"unknown ISP: {isp!r}")
+        self.isp = isp
+
+
+class NetworkError(ReproError):
+    """Errors from the simulated network substrate."""
+
+
+class TransportError(NetworkError):
+    """A request could not be delivered to or answered by a server."""
+
+
+class ProxyPoolExhaustedError(NetworkError):
+    """No residential proxy IPs are available for assignment."""
+
+
+class BatError(ReproError):
+    """Errors raised by a simulated Broadband Availability Tool server."""
+
+
+class BqtError(ReproError):
+    """Errors raised by the Broadband-plan Query Tool."""
+
+
+class PageClassificationError(BqtError):
+    """A fetched page did not match any known BAT template."""
+
+
+class PlanParseError(BqtError):
+    """A plans page was detected but its plan rows could not be parsed."""
+
+
+class WorkflowError(BqtError):
+    """The multi-step query workflow entered an unrecoverable state."""
+
+
+class DatasetError(ReproError):
+    """Errors from dataset curation, sampling, or serialization."""
+
+
+class AnalysisError(ReproError):
+    """Errors from the statistical analysis layer."""
+
+
+class InsufficientDataError(AnalysisError):
+    """An analysis was requested on too few observations to be meaningful."""

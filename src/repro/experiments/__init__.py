@@ -1,0 +1,51 @@
+"""Experiment registry: one module per table/figure of the paper."""
+
+from . import (
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    scaling,
+    table1,
+    table2,
+    table3,
+)
+from .base import ExperimentResult, cdf_rows, render_table
+from .context import ExperimentContext, default_scale, get_context
+
+ALL_EXPERIMENTS = {
+    module.EXPERIMENT_ID: module.run
+    for module in (
+        table1,
+        table2,
+        table3,
+        figure2,
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        scaling,
+    )
+}
+
+
+def run_all(context: ExperimentContext) -> dict[str, ExperimentResult]:
+    """Run every registered experiment against one context."""
+    return {name: run(context) for name, run in ALL_EXPERIMENTS.items()}
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "ExperimentResult",
+    "cdf_rows",
+    "render_table",
+    "ExperimentContext",
+    "default_scale",
+    "get_context",
+]

@@ -1,0 +1,95 @@
+"""Experiment framework: results, text rendering, artifact output.
+
+Every table and figure of the paper's evaluation has an experiment module
+with a ``run(context) -> ExperimentResult`` function.  Results are plain
+rows so they can be printed by the benchmark harness, asserted on by
+tests, and written to ``benchmarks/output/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "render_table", "cdf_rows", "format_value"]
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: tuple[str, ...], rows: list[tuple]) -> str:
+    """Render rows as an aligned plain-text table."""
+    formatted = [tuple(format_value(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def cdf_rows(
+    values: list[float] | np.ndarray, quantiles: tuple[float, ...] = (10, 25, 50, 75, 90)
+) -> list[tuple[str, float]]:
+    """Summarize a distribution as quantile rows (text stand-in for a CDF)."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return [("n", 0.0)]
+    rows: list[tuple[str, float]] = [("n", float(array.size))]
+    for q in quantiles:
+        rows.append((f"p{int(q)}", float(np.percentile(array, q))))
+    return rows
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment (one table or figure)."""
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(render_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def write(self, directory: str | Path) -> Path:
+        """Write the rendered result under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment_id}.txt"
+        path.write_text(self.render() + "\n", encoding="utf-8")
+        return path
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name (for assertions)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: object) -> tuple:
+        """Find the row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row with key {key!r} in {self.experiment_id}")

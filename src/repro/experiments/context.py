@@ -1,0 +1,81 @@
+"""Shared experiment context: one world + one curated dataset per session.
+
+Building the world and running the curation pipeline dominates experiment
+cost, so every table/figure reproduction shares a cached
+:class:`ExperimentContext`.  The scale is configurable through the
+``REPRO_BENCH_SCALE`` and ``REPRO_BENCH_MIN_SAMPLES`` environment
+variables; the defaults trade ~1-2 minutes of curation for statistically
+meaningful per-block-group samples across all thirty cities.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..dataset.container import BroadbandDataset
+from ..dataset.curation import CurationConfig, CurationPipeline
+from ..dataset.sampling import SamplingConfig
+from ..world import World, WorldConfig, build_world
+
+__all__ = ["ExperimentContext", "get_context", "default_scale"]
+
+_DEFAULT_SCALE = 0.12
+_DEFAULT_MIN_SAMPLES = 10
+_DEFAULT_SEED = 42
+
+
+def default_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", _DEFAULT_SCALE))
+
+
+def _default_min_samples() -> int:
+    return int(os.environ.get("REPRO_BENCH_MIN_SAMPLES", _DEFAULT_MIN_SAMPLES))
+
+
+@dataclass
+class ExperimentContext:
+    """World + curated dataset + the configs that produced them."""
+
+    world: World
+    dataset: BroadbandDataset
+    curation: CurationConfig
+
+    @property
+    def seed(self) -> int:
+        return self.world.seed
+
+    def incomes_by_city(self) -> dict[str, dict[str, float]]:
+        """Public ACS income join input for the income analyses."""
+        return {
+            name: {row.geoid: row.median_household_income for row in cw.acs}
+            for name, cw in self.world.cities.items()
+        }
+
+
+@lru_cache(maxsize=4)
+def get_context(
+    scale: float | None = None,
+    seed: int = _DEFAULT_SEED,
+    min_samples: int | None = None,
+    cities: tuple[str, ...] | None = None,
+) -> ExperimentContext:
+    """Build (or fetch the cached) experiment context.
+
+    Args:
+        scale: Block-group scale factor (None = env default).
+        seed: Master seed.
+        min_samples: Per-block-group sample floor (None = env default;
+            the paper uses 30 — benches default lower to bound runtime).
+        cities: Restrict to a subset of cities (tests); None = all thirty.
+    """
+    scale = scale if scale is not None else default_scale()
+    min_samples = min_samples if min_samples is not None else _default_min_samples()
+    world = build_world(WorldConfig(seed=seed, scale=scale, cities=cities))
+    curation = CurationConfig(
+        sampling=SamplingConfig(fraction=0.10, min_samples=min_samples),
+        n_workers=50,
+    )
+    dataset = CurationPipeline(world, curation).curate()
+    return ExperimentContext(world=world, dataset=dataset, curation=curation)

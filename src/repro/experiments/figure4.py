@@ -1,0 +1,50 @@
+"""Figure 4 — Coefficient of variation of carriage value within block groups.
+
+Distribution (per ISP, pooled over cities) of the within-block-group CoV of
+address-level best carriage value.  Paper: very low variability for most
+ISPs, with a long tail for AT&T and CenturyLink because they offer DSL
+(very low cv) and fiber (very high cv) inside the same block group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isp.providers import ISP_NAMES
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+EXPERIMENT_ID = "figure4_cov"
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    dataset = context.dataset
+    rows = []
+    for isp in ISP_NAMES:
+        covs: list[float] = []
+        for city in dataset.cities():
+            if isp in dataset.isps_in(city):
+                covs.extend(dataset.block_group_cov(city, isp).values())
+        if not covs:
+            continue
+        array = np.asarray(covs)
+        rows.append(
+            (
+                isp,
+                array.size,
+                float(np.median(array)),
+                float(np.percentile(array, 90)),
+                float(np.percentile(array, 99)),
+                float(array.max()),
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Within-block-group CoV of carriage value (Figure 4)",
+        headers=("isp", "n_block_groups", "median", "p90", "p99", "max"),
+        rows=rows,
+        notes=[
+            "Paper: low CoV for most ISPs; long tails for AT&T and "
+            "CenturyLink (mixed DSL + fiber within one block group).",
+        ],
+    )

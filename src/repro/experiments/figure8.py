@@ -1,0 +1,74 @@
+"""Figure 8 — Competition and cable carriage value (the Section 5.4 tests).
+
+For every city with a cable/telco duopoly: the cable ISP's block-group cv
+distribution split by market mode, with the paper's dual one-tailed KS
+tests.  Headline (Cox in New Orleans): monopoly and cable-DSL-duopoly
+distributions coincide (median 11.38 Mbps/$); cable-fiber-duopoly block
+groups get ~30% higher cv (median 14.63), with H1 rejected at D=0.65.
+"""
+
+from __future__ import annotations
+
+from ..analysis.competition import competition_analysis
+from ..errors import AnalysisError, InsufficientDataError
+from ..isp.market import MODE_CABLE_DSL_DUOPOLY, MODE_CABLE_FIBER_DUOPOLY
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+EXPERIMENT_ID = "figure8_competition"
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    dataset = context.dataset
+    rows = []
+    for city in dataset.cities():
+        try:
+            report = competition_analysis(dataset, city)
+        except (AnalysisError, InsufficientDataError):
+            continue
+        for test in report.tests:
+            rows.append(
+                (
+                    city,
+                    report.cable_isp,
+                    test.duopoly_mode,
+                    test.monopoly.n,
+                    test.duopoly.n,
+                    test.monopoly.median(),
+                    test.duopoly.median(),
+                    test.median_uplift_percent,
+                    test.h1_duopoly_greater.statistic,
+                    test.h1_duopoly_greater.p_value,
+                    test.conclusion,
+                )
+            )
+    fiber_rows = [r for r in rows if r[2] == MODE_CABLE_FIBER_DUOPOLY]
+    dsl_rows = [r for r in rows if r[2] == MODE_CABLE_DSL_DUOPOLY]
+    notes = [
+        "Paper: cable-DSL duopolies show no significant difference from "
+        "monopoly; cable-fiber duopolies show ~30% higher cable cv "
+        "(Cox New Orleans: 14.63 vs 11.38 Mbps/$, D=0.65).",
+        f"{sum(1 for r in fiber_rows if r[-1] == 'duopoly_better')}/"
+        f"{len(fiber_rows)} cable-fiber tests conclude duopoly_better; "
+        f"{sum(1 for r in dsl_rows if r[-1] == 'no_difference')}/"
+        f"{len(dsl_rows)} cable-DSL tests conclude no_difference.",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Cable cv by market mode with one-tailed KS tests (Figure 8)",
+        headers=(
+            "city",
+            "cable_isp",
+            "duopoly_mode",
+            "n_monopoly",
+            "n_duopoly",
+            "monopoly_median",
+            "duopoly_median",
+            "uplift_pct",
+            "ks_d",
+            "ks_p",
+            "conclusion",
+        ),
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,88 @@
+"""Figure 9 — Fiber deployment vs block-group income.
+
+(a) New Orleans, AT&T: the share of served block groups with fiber plans,
+split by income class.  Paper: 41% of low-income vs 57% of high-income
+block groups.
+
+(b) Across all cities, per DSL/fiber ISP: the distribution of the
+percentage-point gap (high minus low).  Paper: AT&T, Verizon and
+CenturyLink skew positive (more fiber where income is higher) in most
+cities; Frontier is the outlier with no consistent trend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.income import fiber_by_income, fiber_income_gaps
+from ..errors import InsufficientDataError
+from ..isp.providers import DSL_FIBER_ISPS
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+EXPERIMENT_ID = "figure9_income"
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    dataset = context.dataset
+    incomes_by_city = context.incomes_by_city()
+    rows = []
+
+    # (a) the New Orleans case study.
+    try:
+        split = fiber_by_income(
+            dataset, "new-orleans", "att", incomes_by_city["new-orleans"]
+        )
+        rows.append(
+            (
+                "att",
+                "new-orleans(9a)",
+                1,
+                100.0 * split.low_fiber_share,
+                100.0 * split.high_fiber_share,
+                split.gap_points,
+                "",
+            )
+        )
+    except (KeyError, InsufficientDataError):
+        pass
+
+    # (b) gap distribution across cities per DSL/fiber ISP.
+    for isp in DSL_FIBER_ISPS:
+        try:
+            splits = fiber_income_gaps(dataset, isp, incomes_by_city)
+        except InsufficientDataError:
+            continue
+        gaps = np.asarray([s.gap_points for s in splits])
+        positive = int((gaps > 0).sum())
+        rows.append(
+            (
+                isp,
+                "all-cities(9b)",
+                len(splits),
+                float(np.mean([100 * s.low_fiber_share for s in splits])),
+                float(np.mean([100 * s.high_fiber_share for s in splits])),
+                float(np.median(gaps)),
+                f"{positive}/{len(splits)} cities positive",
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Fiber availability by income class (Figure 9)",
+        headers=(
+            "isp",
+            "scope",
+            "n_cities",
+            "low_fiber_pct",
+            "high_fiber_pct",
+            "median_gap_pts",
+            "detail",
+        ),
+        rows=rows,
+        notes=[
+            "Paper 9a: New Orleans AT&T fiber reaches 41% of low-income vs "
+            "57% of high-income block groups.",
+            "Paper 9b: AT&T/Verizon/CenturyLink favor high-income block "
+            "groups in most cities; Frontier is the outlier.",
+        ],
+    )

@@ -1,0 +1,52 @@
+"""Synthetic US census geography substrate.
+
+Replaces the Census TIGER + geopandas stack used by the paper with
+deterministic per-city block-group grids, spatial weights, and an ACS-like
+demographic table.  See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from .acs import AcsTable, BlockGroupDemographics, build_acs_table
+from .adjacency import (
+    SpatialWeights,
+    distance_band_weights,
+    queen_weights,
+    rook_weights,
+)
+from .cities import (
+    CITIES,
+    CITY_NAMES,
+    CityInfo,
+    cities_served_by,
+    get_city,
+    total_addresses_thousands,
+    total_block_groups,
+)
+from .fields import (
+    correlated_uniform_field,
+    field_to_grid_values,
+    smoothed_gaussian_field,
+)
+from .grid import BlockGroup, CityGrid, scaled_block_group_count
+
+__all__ = [
+    "AcsTable",
+    "BlockGroupDemographics",
+    "build_acs_table",
+    "SpatialWeights",
+    "distance_band_weights",
+    "queen_weights",
+    "rook_weights",
+    "CITIES",
+    "CITY_NAMES",
+    "CityInfo",
+    "cities_served_by",
+    "get_city",
+    "total_addresses_thousands",
+    "total_block_groups",
+    "correlated_uniform_field",
+    "field_to_grid_values",
+    "smoothed_gaussian_field",
+    "BlockGroup",
+    "CityGrid",
+    "scaled_block_group_count",
+]

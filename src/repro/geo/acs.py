@@ -1,0 +1,124 @@
+"""Synthetic American Community Survey (ACS) block-group attributes.
+
+The paper joins its broadband dataset with the ACS 5-year (2019) estimates
+of median household income at block-group granularity (Section 5.5).  We
+have no Census API access, so this module synthesizes an ACS-like table:
+per-block-group median household income drawn from a spatially correlated
+lognormal distribution whose city-level median matches Table 2.
+
+The income surface is the root driver of the paper's headline findings: ISP
+fiber deployment is income-biased (Figure 9) and spatially clustered
+(Table 3).  The deployment model in :mod:`repro.isp.deployment` consumes
+this table; the analysis layer later re-joins it to the *measured* dataset,
+mirroring the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GeographyError
+from ..seeding import derive_seed
+from .fields import field_to_grid_values, smoothed_gaussian_field
+from .grid import CityGrid
+
+__all__ = ["BlockGroupDemographics", "AcsTable", "build_acs_table"]
+
+# Dispersion of log-income across block groups within a city.  A sigma of
+# 0.45 gives a ~2.5x interquartile-range ratio, matching the spread of real
+# ACS block-group income within large US cities.
+LOG_INCOME_SIGMA = 0.45
+
+
+@dataclass(frozen=True)
+class BlockGroupDemographics:
+    """ACS-style attributes for one block group."""
+
+    geoid: str
+    median_household_income: float
+    population: int
+
+    @property
+    def income_thousands(self) -> float:
+        return self.median_household_income / 1000.0
+
+
+class AcsTable:
+    """Income and population attributes for every block group in a city."""
+
+    def __init__(self, city: str, rows: tuple[BlockGroupDemographics, ...]) -> None:
+        self.city = city
+        self._rows = rows
+        self._by_geoid = {row.geoid: row for row in rows}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> tuple[BlockGroupDemographics, ...]:
+        return self._rows
+
+    def income(self, geoid: str) -> float:
+        """Median household income (dollars) for one block group."""
+        try:
+            return self._by_geoid[geoid].median_household_income
+        except KeyError:
+            raise GeographyError(f"no ACS row for block group {geoid!r}") from None
+
+    def incomes(self) -> np.ndarray:
+        """Income vector ordered by block-group index."""
+        return np.array([row.median_household_income for row in self._rows])
+
+    def city_median_income(self) -> float:
+        """The city-wide median of block-group median incomes.
+
+        The paper splits block groups into "low" (below this value) and
+        "high" (above) income classes (Section 5.5).
+        """
+        return float(np.median(self.incomes()))
+
+    def income_class(self, geoid: str) -> str:
+        """Classify one block group as ``"low"`` or ``"high"`` income."""
+        return "low" if self.income(geoid) < self.city_median_income() else "high"
+
+
+def build_acs_table(
+    grid: CityGrid,
+    seed: int,
+    smoothing_radius: int = 2,
+    log_sigma: float = LOG_INCOME_SIGMA,
+) -> AcsTable:
+    """Generate the synthetic ACS table for one city grid.
+
+    Income is ``median_city * exp(sigma * Z)`` where ``Z`` is a standardized
+    spatially correlated Gaussian field, so the city's geometric-median
+    income matches Table 2 and neighborhoods are income-coherent.
+    """
+    rng = np.random.default_rng(derive_seed(seed, "acs", grid.city.name))
+    field = smoothed_gaussian_field(
+        grid.rows, grid.cols, rng, smoothing_radius=smoothing_radius
+    )
+    z_values = field_to_grid_values(field, grid)
+    # Re-center and re-scale over the covered cells (the smoothed rectangle
+    # field is standardized globally, but the grid may cover a partial last
+    # row and small grids drift): this pins the city median exactly.
+    z_values = z_values - np.median(z_values)
+    std = float(z_values.std())
+    if std > 0:
+        z_values = z_values / std
+    median_income = grid.city.median_income_thousands * 1000.0
+    incomes = median_income * np.exp(log_sigma * z_values)
+    rows = tuple(
+        BlockGroupDemographics(
+            geoid=bg.geoid,
+            median_household_income=float(round(incomes[bg.index], 2)),
+            population=bg.population,
+        )
+        for bg in grid
+    )
+    return AcsTable(grid.city.name, rows)

@@ -1,0 +1,109 @@
+"""Spatial weight matrices over block-group grids.
+
+Moran's I (Section 5.3 of the paper) needs a spatial weights matrix ``W``
+encoding which block groups are "near" each other.  The standard choice for
+polygon data — and the one the paper's geopandas/PySAL stack uses — is queen
+contiguity with row standardization.  This module builds such matrices from
+:class:`~repro.geo.grid.CityGrid` objects without any GIS dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .grid import CityGrid
+
+__all__ = ["SpatialWeights", "queen_weights", "rook_weights", "distance_band_weights"]
+
+
+@dataclass(frozen=True)
+class SpatialWeights:
+    """Sparse row-standardized spatial weights.
+
+    Attributes:
+        n: Number of spatial units.
+        neighbors: ``neighbors[i]`` is the array of neighbor indices of unit i.
+        weights: ``weights[i]`` are the matching weights (row-standardized:
+            each non-isolated row sums to 1).
+    """
+
+    n: int
+    neighbors: tuple[np.ndarray, ...]
+    weights: tuple[np.ndarray, ...]
+
+    @property
+    def n_links(self) -> int:
+        """Total number of directed neighbor links."""
+        return int(sum(len(nbrs) for nbrs in self.neighbors))
+
+    @property
+    def islands(self) -> tuple[int, ...]:
+        """Indices of units with no neighbors."""
+        return tuple(i for i, nbrs in enumerate(self.neighbors) if len(nbrs) == 0)
+
+    def lag(self, values: np.ndarray) -> np.ndarray:
+        """Spatial lag: weighted average of each unit's neighbors' values."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n,):
+            raise ConfigurationError(
+                f"values must have shape ({self.n},), got {values.shape}"
+            )
+        lagged = np.zeros(self.n, dtype=float)
+        for i in range(self.n):
+            if len(self.neighbors[i]):
+                lagged[i] = float(np.dot(self.weights[i], values[self.neighbors[i]]))
+        return lagged
+
+    def dense(self) -> np.ndarray:
+        """Materialize the dense ``(n, n)`` weight matrix (tests/small n only)."""
+        matrix = np.zeros((self.n, self.n), dtype=float)
+        for i in range(self.n):
+            matrix[i, self.neighbors[i]] = self.weights[i]
+        return matrix
+
+
+def _row_standardize(neighbor_lists: list[list[int]]) -> SpatialWeights:
+    neighbors = []
+    weights = []
+    for nbrs in neighbor_lists:
+        idx = np.asarray(sorted(nbrs), dtype=np.int64)
+        neighbors.append(idx)
+        if len(idx):
+            weights.append(np.full(len(idx), 1.0 / len(idx)))
+        else:
+            weights.append(np.zeros(0, dtype=float))
+    return SpatialWeights(
+        n=len(neighbor_lists), neighbors=tuple(neighbors), weights=tuple(weights)
+    )
+
+
+def queen_weights(grid: CityGrid) -> SpatialWeights:
+    """Queen-contiguity weights (8-neighborhood), row-standardized."""
+    return _row_standardize([grid.neighbors(i, queen=True) for i in range(len(grid))])
+
+
+def rook_weights(grid: CityGrid) -> SpatialWeights:
+    """Rook-contiguity weights (4-neighborhood), row-standardized."""
+    return _row_standardize([grid.neighbors(i, queen=False) for i in range(len(grid))])
+
+
+def distance_band_weights(grid: CityGrid, band_cells: float = 1.5) -> SpatialWeights:
+    """Distance-band weights: neighbors within ``band_cells`` grid cells.
+
+    ``band_cells=1.5`` reproduces queen contiguity on a regular grid;
+    larger bands produce smoother weight structures and are useful for
+    ablation studies of the Moran's I results.
+    """
+    if band_cells <= 0:
+        raise ConfigurationError("band_cells must be positive")
+    coords = np.array([(bg.row, bg.col) for bg in grid], dtype=float)
+    neighbor_lists: list[list[int]] = []
+    for i in range(len(grid)):
+        deltas = coords - coords[i]
+        dist = np.hypot(deltas[:, 0], deltas[:, 1])
+        nbrs = np.flatnonzero((dist > 0) & (dist <= band_cells))
+        neighbor_lists.append(list(map(int, nbrs)))
+    return _row_standardize(neighbor_lists)

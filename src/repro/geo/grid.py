@@ -1,0 +1,171 @@
+"""Synthetic census block-group geometry.
+
+The paper aggregates all of its metrics at the census block-group level and
+computes spatial statistics (Moran's I) over block-group geometries.  We
+replace the Census TIGER shapefiles + geopandas stack with a deterministic
+rectangular grid per city: each block group is one grid cell with a polygon,
+a centroid and grid coordinates.  A grid preserves everything the analysis
+needs — contiguity (queen adjacency), distances between centroids, and a
+plottable spatial layout — without any GIS dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, GeographyError
+from .cities import CityInfo
+
+__all__ = ["BlockGroup", "CityGrid", "scaled_block_group_count"]
+
+# Approximate angular size of one block group cell, in degrees.  The value
+# only matters for plotting and for distance-based statistics; 0.01 deg is
+# roughly 1.1 km, a plausible urban block-group footprint.
+CELL_SIZE_DEG = 0.01
+
+# Minimum number of block groups in a scaled-down city.  Spatial statistics
+# and the income split both need a handful of cells to be meaningful.
+MIN_BLOCK_GROUPS = 4
+
+
+@dataclass(frozen=True)
+class BlockGroup:
+    """One synthetic census block group (a grid cell).
+
+    Attributes:
+        geoid: Globally unique identifier, e.g. ``"new-orleans-bg-0042"``.
+        city: Canonical city key.
+        index: Dense index of the block group within its city grid.
+        row / col: Grid coordinates within the city.
+        latitude / longitude: Centroid coordinates.
+        population: Synthetic resident count (Census block groups hold
+            roughly 600-3000 people).
+    """
+
+    geoid: str
+    city: str
+    index: int
+    row: int
+    col: int
+    latitude: float
+    longitude: float
+    population: int
+
+    @property
+    def polygon(self) -> tuple[tuple[float, float], ...]:
+        """Cell polygon as (longitude, latitude) corners, counter-clockwise."""
+        half = CELL_SIZE_DEG / 2.0
+        west, east = self.longitude - half, self.longitude + half
+        south, north = self.latitude - half, self.latitude + half
+        return ((west, south), (east, south), (east, north), (west, north))
+
+    def centroid(self) -> tuple[float, float]:
+        """Return (longitude, latitude) of the cell centre."""
+        return (self.longitude, self.latitude)
+
+
+def scaled_block_group_count(city: CityInfo, scale: float) -> int:
+    """Number of block groups for ``city`` at a given world scale.
+
+    ``scale=1.0`` reproduces the Table-2 block-group count; smaller scales
+    shrink the grid proportionally but never below :data:`MIN_BLOCK_GROUPS`.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+    return max(MIN_BLOCK_GROUPS, int(round(city.block_groups * scale)))
+
+
+class CityGrid:
+    """A city's block groups laid out on a near-square grid.
+
+    The grid is centred on the city's real-world coordinates.  Grid shape is
+    chosen as the most-square factorization of the cell count: ``rows =
+    floor(sqrt(n))`` rounded to cover ``n`` cells, with the final row
+    possibly partial.  Cell (0, 0) is the south-west corner.
+    """
+
+    def __init__(self, city: CityInfo, n_block_groups: int, seed: int = 0) -> None:
+        if n_block_groups < 1:
+            raise ConfigurationError("a city grid needs at least one block group")
+        self.city = city
+        self.n_block_groups = n_block_groups
+        self.rows = max(1, int(math.floor(math.sqrt(n_block_groups))))
+        self.cols = int(math.ceil(n_block_groups / self.rows))
+        self._block_groups = self._build_block_groups(seed)
+        self._by_geoid = {bg.geoid: bg for bg in self._block_groups}
+        self._index_by_cell = {
+            (bg.row, bg.col): bg.index for bg in self._block_groups
+        }
+
+    def _build_block_groups(self, seed: int) -> list[BlockGroup]:
+        from ..seeding import rng_for
+
+        rng = rng_for(seed, "grid-population", self.city.name)
+        # Population per block group: Census targets 600-3000 residents.
+        populations = rng.integers(600, 3001, size=self.n_block_groups)
+        origin_lat = self.city.latitude - (self.rows / 2.0) * CELL_SIZE_DEG
+        origin_lon = self.city.longitude - (self.cols / 2.0) * CELL_SIZE_DEG
+        block_groups = []
+        for index in range(self.n_block_groups):
+            row, col = divmod(index, self.cols)
+            block_groups.append(
+                BlockGroup(
+                    geoid=f"{self.city.name}-bg-{index:04d}",
+                    city=self.city.name,
+                    index=index,
+                    row=row,
+                    col=col,
+                    latitude=origin_lat + (row + 0.5) * CELL_SIZE_DEG,
+                    longitude=origin_lon + (col + 0.5) * CELL_SIZE_DEG,
+                    population=int(populations[index]),
+                )
+            )
+        return block_groups
+
+    def __len__(self) -> int:
+        return self.n_block_groups
+
+    def __iter__(self):
+        return iter(self._block_groups)
+
+    @property
+    def block_groups(self) -> tuple[BlockGroup, ...]:
+        return tuple(self._block_groups)
+
+    def by_index(self, index: int) -> BlockGroup:
+        try:
+            return self._block_groups[index]
+        except IndexError:
+            raise GeographyError(
+                f"{self.city.name} has {self.n_block_groups} block groups; "
+                f"index {index} is out of range"
+            ) from None
+
+    def by_geoid(self, geoid: str) -> BlockGroup:
+        try:
+            return self._by_geoid[geoid]
+        except KeyError:
+            raise GeographyError(f"unknown block group geoid: {geoid!r}") from None
+
+    def cell_index(self, row: int, col: int) -> int | None:
+        """Dense index of the cell at (row, col), or None if outside the grid."""
+        return self._index_by_cell.get((row, col))
+
+    def neighbors(self, index: int, queen: bool = True) -> list[int]:
+        """Indices of grid cells contiguous with ``index``.
+
+        Queen contiguity (the default, and what the paper's Moran's I uses)
+        counts diagonal touching; rook contiguity counts shared edges only.
+        """
+        bg = self.by_index(index)
+        if queen:
+            offsets = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)]
+        else:
+            offsets = [(-1, 0), (0, -1), (0, 1), (1, 0)]
+        found = []
+        for dr, dc in offsets:
+            neighbor = self.cell_index(bg.row + dr, bg.col + dc)
+            if neighbor is not None:
+                found.append(neighbor)
+        return found

@@ -1,0 +1,74 @@
+"""ISP substrate: providers, plan catalogs, deployments, markets, offers."""
+
+from .deployment import (
+    N_DSL_CLASSES,
+    PINNED_FIBER_SHARES,
+    BlockGroupDeployment,
+    CityDeployment,
+    DeploymentConfig,
+    build_city_deployment,
+)
+from .market import (
+    MODE_CABLE_DSL_DUOPOLY,
+    MODE_CABLE_FIBER_DUOPOLY,
+    MODE_CABLE_MONOPOLY,
+    MODE_UNSERVED,
+    CityMarket,
+    build_city_market,
+)
+from .offers import CityOffers, OfferConfig
+from .plans import (
+    MAX_OBSERVED_CV,
+    PLAN_CATALOGS,
+    TECH_CABLE,
+    TECH_DSL,
+    TECH_FIBER,
+    Plan,
+    carriage_value,
+    catalog_for,
+    dsl_plans,
+    fiber_plans,
+)
+from .providers import (
+    CABLE_ISPS,
+    DSL_FIBER_ISPS,
+    ISP_NAMES,
+    ISPS,
+    Isp,
+    get_isp,
+    is_cable,
+)
+
+__all__ = [
+    "N_DSL_CLASSES",
+    "PINNED_FIBER_SHARES",
+    "BlockGroupDeployment",
+    "CityDeployment",
+    "DeploymentConfig",
+    "build_city_deployment",
+    "MODE_CABLE_DSL_DUOPOLY",
+    "MODE_CABLE_FIBER_DUOPOLY",
+    "MODE_CABLE_MONOPOLY",
+    "MODE_UNSERVED",
+    "CityMarket",
+    "build_city_market",
+    "CityOffers",
+    "OfferConfig",
+    "MAX_OBSERVED_CV",
+    "PLAN_CATALOGS",
+    "TECH_CABLE",
+    "TECH_DSL",
+    "TECH_FIBER",
+    "Plan",
+    "carriage_value",
+    "catalog_for",
+    "dsl_plans",
+    "fiber_plans",
+    "CABLE_ISPS",
+    "DSL_FIBER_ISPS",
+    "ISP_NAMES",
+    "ISPS",
+    "Isp",
+    "get_isp",
+    "is_cable",
+]

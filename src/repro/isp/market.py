@@ -1,0 +1,101 @@
+"""Market-structure classification.
+
+Section 2 of the paper establishes that cable ISPs operate in exactly three
+modes within a city: cable monopoly, cable-DSL duopoly and cable-fiber
+duopoly (two cable ISPs never compete, nor do two DSL/fiber ISPs).  This
+module derives the ground-truth market mode per block group from the city's
+deployments.  The analysis layer later *infers* the same classification
+from measured plan data; tests compare the two.
+"""
+
+from __future__ import annotations
+
+from ..errors import IspError
+from ..geo.grid import CityGrid
+from .deployment import CityDeployment
+from .providers import get_isp
+
+__all__ = [
+    "MODE_CABLE_MONOPOLY",
+    "MODE_CABLE_DSL_DUOPOLY",
+    "MODE_CABLE_FIBER_DUOPOLY",
+    "MODE_UNSERVED",
+    "CityMarket",
+    "build_city_market",
+]
+
+MODE_CABLE_MONOPOLY = "cable_monopoly"
+MODE_CABLE_DSL_DUOPOLY = "cable_dsl_duopoly"
+MODE_CABLE_FIBER_DUOPOLY = "cable_fiber_duopoly"
+MODE_UNSERVED = "unserved"
+
+ALL_MODES = (
+    MODE_CABLE_MONOPOLY,
+    MODE_CABLE_DSL_DUOPOLY,
+    MODE_CABLE_FIBER_DUOPOLY,
+)
+
+
+class CityMarket:
+    """Market mode of every block group in one city, from the cable ISP's view."""
+
+    def __init__(self, city: str, modes: dict[str, str]) -> None:
+        self.city = city
+        self._modes = modes
+
+    def mode(self, geoid: str) -> str:
+        try:
+            return self._modes[geoid]
+        except KeyError:
+            raise IspError(f"no market mode for block group {geoid!r}") from None
+
+    def geoids_in_mode(self, mode: str) -> tuple[str, ...]:
+        return tuple(g for g, m in self._modes.items() if m == mode)
+
+    def mode_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for mode in self._modes.values():
+            counts[mode] = counts.get(mode, 0) + 1
+        return counts
+
+    def items(self):
+        return self._modes.items()
+
+
+def build_city_market(
+    grid: CityGrid,
+    deployments: dict[str, CityDeployment],
+) -> CityMarket:
+    """Classify each block group by competition mode.
+
+    ``deployments`` maps ISP name to that ISP's deployment in this city
+    (one or two entries — the city's active major ISPs).
+    """
+    cable = [d for name, d in deployments.items() if get_isp(name).is_cable]
+    telco = [d for name, d in deployments.items() if not get_isp(name).is_cable]
+    if len(cable) > 1 or len(telco) > 1:
+        raise IspError(
+            f"{grid.city.name}: more than one cable or DSL/fiber ISP — the "
+            "paper's market model admits at most one of each"
+        )
+    cable_dep = cable[0] if cable else None
+    telco_dep = telco[0] if telco else None
+
+    modes: dict[str, str] = {}
+    for bg in grid:
+        geoid = bg.geoid
+        cable_here = cable_dep is not None and cable_dep.covers(geoid)
+        telco_tech = (
+            telco_dep.at(geoid).technology
+            if telco_dep is not None and telco_dep.covers(geoid)
+            else None
+        )
+        if not cable_here:
+            modes[geoid] = MODE_UNSERVED
+        elif telco_tech == "fiber":
+            modes[geoid] = MODE_CABLE_FIBER_DUOPOLY
+        elif telco_tech == "dsl":
+            modes[geoid] = MODE_CABLE_DSL_DUOPOLY
+        else:
+            modes[geoid] = MODE_CABLE_MONOPOLY
+    return CityMarket(grid.city.name, modes)

@@ -1,0 +1,201 @@
+"""Broadband plan catalogs (Table 1 of the paper).
+
+Each ISP offers a fixed, small catalog of plans nationally; any given street
+address sees only a subset (Section 5.1).  The catalogs below reconstruct
+Table 1: the plan *counts* match exactly (AT&T 11, Verizon 4, CenturyLink 8,
+Frontier 2, Spectrum 5, Cox 6, Xfinity 3) and the download/upload/price
+ranges match the printed ranges wherever those ranges are mutually
+consistent; EXPERIMENTS.md documents the handful of spots where the printed
+download, price, and carriage-value ranges cannot all hold simultaneously.
+
+Carriage value (cv) — the paper's central metric — is Mbps of download
+speed carried per dollar of monthly price (Section 1: 100 Mbps at $50 is
+2 Mbps/$).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import IspError
+
+__all__ = [
+    "TECH_DSL",
+    "TECH_FIBER",
+    "TECH_CABLE",
+    "Plan",
+    "PLAN_CATALOGS",
+    "catalog_for",
+    "carriage_value",
+    "dsl_plans",
+    "fiber_plans",
+    "MAX_OBSERVED_CV",
+]
+
+TECH_DSL = "dsl"
+TECH_FIBER = "fiber"
+TECH_CABLE = "cable"
+
+# The maximum carriage value observed across all ISPs and cities in the
+# paper (Cox's 1000/35 promotional tier: 28.6 Mbps/$).  The 30-dimensional
+# plan vectors of Section 5.1 are sized from this.
+MAX_OBSERVED_CV = 28.6
+
+
+def carriage_value(download_mbps: float, monthly_price: float) -> float:
+    """Carriage value in Mbps per dollar per month.
+
+    >>> carriage_value(100.0, 50.0)
+    2.0
+    """
+    if monthly_price <= 0:
+        raise IspError(f"monthly price must be positive, got {monthly_price}")
+    if download_mbps <= 0:
+        raise IspError(f"download speed must be positive, got {download_mbps}")
+    return download_mbps / monthly_price
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One broadband plan as advertised by an ISP.
+
+    Attributes:
+        isp: Canonical ISP key.
+        plan_id: Stable identifier unique within the ISP's catalog.
+        name: Marketing name shown on the BAT plans page.
+        download_mbps / upload_mbps: Maximum advertised speeds.
+        monthly_price: Monthly price in US dollars.
+        technology: ``"dsl"``, ``"fiber"`` or ``"cable"``.
+    """
+
+    isp: str
+    plan_id: str
+    name: str
+    download_mbps: float
+    upload_mbps: float
+    monthly_price: float
+    technology: str
+
+    @property
+    def cv(self) -> float:
+        """Carriage value of this plan (download Mbps per dollar)."""
+        return carriage_value(self.download_mbps, self.monthly_price)
+
+    @property
+    def upload_cv(self) -> float:
+        """Upload-based carriage value (used for the robustness check)."""
+        return carriage_value(self.upload_mbps, self.monthly_price)
+
+    def with_speed(self, download_mbps: float, upload_mbps: float) -> "Plan":
+        """A copy with attainable (address-dependent) speeds.
+
+        DSL plans advertise "up to" speeds; the attainable rate depends on
+        the copper loop length of the neighborhood.  The BAT shows the
+        attainable figure, so observed DSL carriage values form a continuum.
+        """
+        return replace(self, download_mbps=download_mbps, upload_mbps=upload_mbps)
+
+
+def _plan(
+    isp: str,
+    plan_id: str,
+    name: str,
+    down: float,
+    up: float,
+    price: float,
+    tech: str,
+) -> Plan:
+    return Plan(
+        isp=isp,
+        plan_id=plan_id,
+        name=name,
+        download_mbps=down,
+        upload_mbps=up,
+        monthly_price=price,
+        technology=tech,
+    )
+
+
+PLAN_CATALOGS: dict[str, tuple[Plan, ...]] = {
+    # AT&T: 11 plans, $55-80, 0.768-1000 Mbps.  Seven DSL tiers at $55
+    # (attainable speed varies by loop), one fiber 100, fiber 300/500/1000.
+    "att": (
+        _plan("att", "att-dsl-768k", "Basic Internet", 0.768, 0.768, 55, TECH_DSL),
+        _plan("att", "att-dsl-5", "Internet 5", 5, 1, 55, TECH_DSL),
+        _plan("att", "att-dsl-10", "Internet 10", 10, 1, 55, TECH_DSL),
+        _plan("att", "att-dsl-18", "Internet 18", 18, 1.5, 55, TECH_DSL),
+        _plan("att", "att-dsl-25", "Internet 25", 25, 5, 55, TECH_DSL),
+        _plan("att", "att-dsl-50", "Internet 50", 50, 10, 55, TECH_DSL),
+        _plan("att", "att-dsl-100", "Internet 100", 100, 20, 55, TECH_DSL),
+        _plan("att", "att-fiber-100", "Fiber 100", 100, 100, 55, TECH_FIBER),
+        _plan("att", "att-fiber-300", "Fiber 300", 300, 300, 55, TECH_FIBER),
+        _plan("att", "att-fiber-500", "Fiber 500", 500, 500, 65, TECH_FIBER),
+        _plan("att", "att-fiber-1000", "Fiber 1000", 1000, 1000, 80, TECH_FIBER),
+    ),
+    # Verizon: 4 plans, $50-100.  One legacy DSL tier plus three Fios tiers.
+    "verizon": (
+        _plan("verizon", "vz-dsl", "High Speed Internet", 3.1, 1, 50, TECH_DSL),
+        _plan("verizon", "vz-fios-300", "Fios 300", 300, 300, 50, TECH_FIBER),
+        _plan("verizon", "vz-fios-500", "Fios 500", 500, 500, 70, TECH_FIBER),
+        _plan("verizon", "vz-fios-gig", "Fios Gigabit", 940, 880, 85, TECH_FIBER),
+    ),
+    # CenturyLink: 8 plans, $50-65.  Seven DSL tiers plus gigabit fiber.
+    "centurylink": (
+        _plan("centurylink", "cl-dsl-1.5", "Internet 1.5", 1.5, 0.5, 50, TECH_DSL),
+        _plan("centurylink", "cl-dsl-7", "Internet 7", 7, 0.896, 50, TECH_DSL),
+        _plan("centurylink", "cl-dsl-12", "Internet 12", 12, 1, 50, TECH_DSL),
+        _plan("centurylink", "cl-dsl-20", "Internet 20", 20, 2, 50, TECH_DSL),
+        _plan("centurylink", "cl-dsl-40", "Internet 40", 40, 5, 50, TECH_DSL),
+        _plan("centurylink", "cl-dsl-80", "Internet 80", 80, 10, 50, TECH_DSL),
+        _plan("centurylink", "cl-dsl-100", "Internet 100", 100, 10, 50, TECH_DSL),
+        _plan("centurylink", "cl-fiber-940", "Fiber Gigabit", 940, 940, 65, TECH_FIBER),
+    ),
+    # Frontier: 2 plans, $50-100.  DSL (attainable speed varies enormously
+    # with loop length, down to 0.2 Mbps) and 2-gig fiber.
+    "frontier": (
+        _plan("frontier", "ft-dsl", "Frontier Internet", 115, 7, 50, TECH_DSL),
+        _plan("frontier", "ft-fiber-2g", "Fiber 2 Gig", 2000, 2000, 100, TECH_FIBER),
+    ),
+    # Spectrum: 5 plans, $20-70, 30-1000 Mbps down, 5-35 up.
+    "spectrum": (
+        _plan("spectrum", "sp-assist", "Internet Assist", 30, 5, 20, TECH_CABLE),
+        _plan("spectrum", "sp-standard", "Internet Standard", 300, 10, 50, TECH_CABLE),
+        _plan("spectrum", "sp-promo", "Internet Promo", 400, 10, 36, TECH_CABLE),
+        _plan("spectrum", "sp-ultra", "Internet Ultra", 500, 20, 70, TECH_CABLE),
+        _plan("spectrum", "sp-gig", "Internet Gig", 1000, 35, 70, TECH_CABLE),
+    ),
+    # Cox: 6 plans, $20-100.  The six distinct carriage values (10.0, 10.5,
+    # 11.4, 12.5, 14.6, 28.6) reproduce the six peaks of Figure 5b; the
+    # 250/$22 tier's 11.36 Mbps/$ is the monopoly-median of Figure 8 and
+    # the 1000/$68.5 promo's 14.60 the fiber-competition median.
+    "cox": (
+        _plan("cox", "cox-gigablast", "Gigablast", 1000, 35, 100, TECH_CABLE),
+        _plan("cox", "cox-preferred", "Internet Preferred", 500, 10, 47.5, TECH_CABLE),
+        _plan("cox", "cox-essential", "Internet Essential", 250, 10, 22, TECH_CABLE),
+        _plan("cox", "cox-turbo", "Internet Turbo", 250, 10, 20, TECH_CABLE),
+        _plan("cox", "cox-giga-promo", "Gigablast Promo", 1000, 35, 68.5, TECH_CABLE),
+        _plan("cox", "cox-giga-special", "Gigablast Special", 1000, 35, 35, TECH_CABLE),
+    ),
+    # Xfinity: 3 plans, $20-80, location-invariant (Section 4.1).
+    "xfinity": (
+        _plan("xfinity", "xf-essentials", "Internet Essentials", 75, 10, 20, TECH_CABLE),
+        _plan("xfinity", "xf-fast", "Fast", 400, 10, 60, TECH_CABLE),
+        _plan("xfinity", "xf-gigextra", "Gigabit Extra", 1200, 35, 80, TECH_CABLE),
+    ),
+}
+
+
+def catalog_for(isp_name: str) -> tuple[Plan, ...]:
+    """The full national plan catalog of one ISP."""
+    try:
+        return PLAN_CATALOGS[isp_name.lower()]
+    except KeyError:
+        raise IspError(f"no plan catalog for ISP {isp_name!r}") from None
+
+
+def dsl_plans(isp_name: str) -> tuple[Plan, ...]:
+    return tuple(p for p in catalog_for(isp_name) if p.technology == TECH_DSL)
+
+
+def fiber_plans(isp_name: str) -> tuple[Plan, ...]:
+    return tuple(p for p in catalog_for(isp_name) if p.technology == TECH_FIBER)

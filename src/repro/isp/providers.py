@@ -1,0 +1,82 @@
+"""Registry of the seven major US ISPs studied in the paper.
+
+The paper divides them into two categories that never compete with a member
+of their own category (Section 2): DSL/fiber providers (AT&T, Verizon,
+CenturyLink, Frontier) and cable providers (Xfinity, Spectrum, Cox).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UnknownIspError
+
+__all__ = [
+    "Isp",
+    "ISPS",
+    "ISP_NAMES",
+    "CABLE_ISPS",
+    "DSL_FIBER_ISPS",
+    "get_isp",
+    "is_cable",
+]
+
+KIND_CABLE = "cable"
+KIND_DSL_FIBER = "dsl_fiber"
+
+
+@dataclass(frozen=True)
+class Isp:
+    """One major ISP.
+
+    Attributes:
+        name: Canonical lower-case key (``"att"``, ``"cox"``, ...).
+        display_name: Human-readable brand name.
+        kind: ``"cable"`` or ``"dsl_fiber"``.
+        bat_hostname: Hostname of the ISP's simulated Broadband Availability
+            Tool, used to address requests in the network substrate.
+    """
+
+    name: str
+    display_name: str
+    kind: str
+
+    @property
+    def bat_hostname(self) -> str:
+        return f"bat.{self.name}.example"
+
+    @property
+    def is_cable(self) -> bool:
+        return self.kind == KIND_CABLE
+
+
+ISPS: dict[str, Isp] = {
+    isp.name: isp
+    for isp in (
+        Isp("att", "AT&T", KIND_DSL_FIBER),
+        Isp("verizon", "Verizon", KIND_DSL_FIBER),
+        Isp("centurylink", "CenturyLink", KIND_DSL_FIBER),
+        Isp("frontier", "Frontier", KIND_DSL_FIBER),
+        Isp("spectrum", "Spectrum", KIND_CABLE),
+        Isp("cox", "Cox", KIND_CABLE),
+        Isp("xfinity", "Xfinity", KIND_CABLE),
+    )
+}
+
+ISP_NAMES: tuple[str, ...] = tuple(ISPS)
+CABLE_ISPS: tuple[str, ...] = tuple(n for n, isp in ISPS.items() if isp.is_cable)
+DSL_FIBER_ISPS: tuple[str, ...] = tuple(
+    n for n, isp in ISPS.items() if not isp.is_cable
+)
+
+
+def get_isp(name: str) -> Isp:
+    """Look up an ISP by canonical key (case-insensitive)."""
+    try:
+        return ISPS[name.lower()]
+    except KeyError:
+        raise UnknownIspError(name) from None
+
+
+def is_cable(name: str) -> bool:
+    return get_isp(name).is_cable

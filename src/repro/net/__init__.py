@@ -1,0 +1,29 @@
+"""Simulated network substrate: HTTP, clocks, transports, cookies, proxies."""
+
+from .clock import Clock, RealClock, VirtualClock
+from .cookies import CookieJar, parse_set_cookie
+from .http import HttpRequest, HttpResponse, decode_form, encode_form
+from .latency import LatencyModel
+from .proxy import ResidentialProxyPool
+from .tcp import TcpBatServer, TcpTransport
+from .transport import RENDER_HEADER, BatServerApp, InProcessTransport, Transport
+
+__all__ = [
+    "Clock",
+    "RealClock",
+    "VirtualClock",
+    "CookieJar",
+    "parse_set_cookie",
+    "HttpRequest",
+    "HttpResponse",
+    "decode_form",
+    "encode_form",
+    "LatencyModel",
+    "ResidentialProxyPool",
+    "TcpBatServer",
+    "TcpTransport",
+    "RENDER_HEADER",
+    "BatServerApp",
+    "InProcessTransport",
+    "Transport",
+]

@@ -1,0 +1,73 @@
+"""Clocks for the simulated network.
+
+BAT page renders take tens of seconds in the real world (Figure 2b reports
+medians of 27-100 seconds per query).  Replaying those delays in real time
+would make an 837k-address curation run take years of wall-clock time, so
+the in-process transport runs on a :class:`VirtualClock` that components
+*advance* instead of sleeping against.  Query-resolution-time measurements
+read the virtual clock and therefore reproduce the paper's distributions
+faithfully while the simulation itself runs at CPU speed.
+
+The TCP integration path uses :class:`RealClock` (wall time) with delays
+scaled down by the server's configured time-scale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from ..errors import ConfigurationError
+
+__all__ = ["Clock", "VirtualClock", "RealClock"]
+
+
+class Clock(Protocol):
+    """Minimal clock interface shared by virtual and wall clocks."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic)."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Advance (virtual) or block (real) for ``seconds``."""
+        ...
+
+
+class VirtualClock:
+    """A manually advanced simulation clock.
+
+    >>> clock = VirtualClock()
+    >>> clock.sleep(12.5)
+    >>> clock.now()
+    12.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError(f"cannot sleep a negative duration: {seconds}")
+        self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump forward to an absolute time (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+
+
+class RealClock:
+    """Wall-clock implementation (used by the TCP integration path)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError(f"cannot sleep a negative duration: {seconds}")
+        if seconds:
+            time.sleep(seconds)

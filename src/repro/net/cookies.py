@@ -1,0 +1,63 @@
+"""Client-side cookie jar.
+
+The simulated BATs use dynamic per-step session cookies as an anti-scraping
+safeguard (Section 3.2 of the paper describes ISPs "using dynamic cookies
+that append unique server-side parameters to each user session").  The BQT
+browser therefore needs a faithful jar: per-host storage, Set-Cookie
+parsing, and replay on subsequent requests.
+"""
+
+from __future__ import annotations
+
+from .http import HttpRequest, HttpResponse
+
+__all__ = ["CookieJar", "parse_set_cookie"]
+
+
+def parse_set_cookie(header_value: str) -> tuple[str, str]:
+    """Extract the (name, value) pair from a Set-Cookie header.
+
+    Attributes (Path, HttpOnly, ...) are ignored — the BATs set host-wide
+    session cookies only.
+
+    >>> parse_set_cookie("sid=abc123; Path=/; HttpOnly")
+    ('sid', 'abc123')
+    """
+    first_part = header_value.split(";", 1)[0]
+    name, _, value = first_part.partition("=")
+    return name.strip(), value.strip()
+
+
+class CookieJar:
+    """Per-host cookie storage."""
+
+    def __init__(self) -> None:
+        self._cookies: dict[str, dict[str, str]] = {}
+
+    def update_from_response(self, host: str, response: HttpResponse) -> None:
+        """Record every Set-Cookie header of a response."""
+        store = self._cookies.setdefault(host, {})
+        for header_value in response.all_headers("Set-Cookie"):
+            name, value = parse_set_cookie(header_value)
+            if name:
+                store[name] = value
+
+    def apply(self, host: str, request: HttpRequest) -> None:
+        """Attach the host's cookies to an outgoing request."""
+        store = self._cookies.get(host)
+        if store:
+            folded = "; ".join(f"{k}={v}" for k, v in sorted(store.items()))
+            request.set_header("Cookie", folded)
+
+    def get(self, host: str, name: str) -> str | None:
+        return self._cookies.get(host, {}).get(name)
+
+    def clear(self, host: str | None = None) -> None:
+        """Drop all cookies, or only one host's."""
+        if host is None:
+            self._cookies.clear()
+        else:
+            self._cookies.pop(host, None)
+
+    def cookies_for(self, host: str) -> dict[str, str]:
+        return dict(self._cookies.get(host, {}))

@@ -1,0 +1,53 @@
+"""Network latency model.
+
+Adds a round-trip time to every request on top of the server's own page
+render delay.  RTTs are lognormal around a per-host base — residential
+proxy paths (as used by the paper's Bright Data pool) have both a higher
+base and a heavier tail than a datacenter path, which the orchestrator's
+scaling experiment (Section 4.1) can surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Lognormal round-trip-time model.
+
+    Attributes:
+        base_rtt: Median round-trip time in seconds.
+        sigma: Lognormal shape parameter (tail heaviness).
+    """
+
+    base_rtt: float = 0.08
+    sigma: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.base_rtt < 0:
+            raise ConfigurationError("base_rtt must be non-negative")
+        if self.sigma < 0:
+            raise ConfigurationError("sigma must be non-negative")
+
+    @classmethod
+    def residential_proxy(cls) -> "LatencyModel":
+        """Path through a residential proxy exit (heavier than datacenter)."""
+        return cls(base_rtt=0.18, sigma=0.55)
+
+    @classmethod
+    def zero(cls) -> "LatencyModel":
+        """No network delay (unit tests)."""
+        return cls(base_rtt=0.0, sigma=0.0)
+
+    def sample_rtt(self, rng: np.random.Generator) -> float:
+        """Draw one round-trip time."""
+        if self.base_rtt == 0.0:
+            return 0.0
+        return float(self.base_rtt * np.exp(self.sigma * rng.standard_normal()))

@@ -1,0 +1,76 @@
+"""Residential proxy pool.
+
+The paper routes BQT traffic through a pool of residential IP addresses
+(provided by the Bright Initiative) so that queries do not all originate
+from one non-residential address (Section 4.1).  The simulated BAT
+safeguards count requests per client IP, so the pool is load-bearing here
+too: a fleet funneling through a single IP trips the rate limiter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ProxyPoolExhaustedError
+from ..seeding import derive_seed
+
+__all__ = ["ResidentialProxyPool"]
+
+
+class ResidentialProxyPool:
+    """A fixed pool of residential exit IPs with lease semantics.
+
+    IPs are synthesized deterministically from the seed within commonly
+    residential address space.  Workers lease an IP for the duration of a
+    querying session (sticky assignment — BAT session cookies are bound to
+    the client IP) and release it when done.
+    """
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size < 1:
+            raise ConfigurationError("proxy pool needs at least one IP")
+        rng = np.random.default_rng(derive_seed(seed, "proxy-pool"))
+        ips: set[str] = set()
+        while len(ips) < size:
+            # 73.x.x.x and 98.x.x.x are classic US residential blocks.
+            first_octet = int(rng.choice([24, 67, 71, 73, 76, 98, 174]))
+            ips.add(
+                f"{first_octet}.{rng.integers(1, 255)}."
+                f"{rng.integers(1, 255)}.{rng.integers(2, 254)}"
+            )
+        self._all_ips: tuple[str, ...] = tuple(sorted(ips))
+        self._available: list[str] = list(self._all_ips)
+        self._leased: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._all_ips)
+
+    @property
+    def available(self) -> int:
+        return len(self._available)
+
+    @property
+    def leased(self) -> frozenset[str]:
+        return frozenset(self._leased)
+
+    def acquire(self) -> str:
+        """Lease one IP; raises when the pool is exhausted."""
+        if not self._available:
+            raise ProxyPoolExhaustedError(
+                f"all {len(self._all_ips)} residential IPs are leased"
+            )
+        ip = self._available.pop(0)
+        self._leased.add(ip)
+        return ip
+
+    def release(self, ip: str) -> None:
+        """Return a leased IP to the pool."""
+        if ip not in self._leased:
+            raise ConfigurationError(f"IP {ip} was not leased from this pool")
+        self._leased.remove(ip)
+        self._available.append(ip)
+
+    def rotate(self, ip: str) -> str:
+        """Swap a leased IP for a fresh one (used after a BAT block)."""
+        self.release(ip)
+        return self.acquire()

@@ -1,0 +1,201 @@
+"""Real-socket transport and server.
+
+The integration path: the same :class:`~repro.net.transport.BatServerApp`
+objects served behind an actual TCP listener, driven by the same BQT
+workflows through :class:`TcpTransport`.  This proves the HTTP message
+model round-trips over a genuine network boundary.
+
+Render delays are honored with real (scaled) sleeps — a ``time_scale`` of
+0.001 turns a simulated 40-second page render into a 40 ms pause, keeping
+integration tests fast while preserving ordering behaviour.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from ..errors import TransportError
+from .clock import Clock
+from .http import HttpRequest, HttpResponse
+from .transport import RENDER_HEADER, BatServerApp, Transport
+
+__all__ = ["TcpBatServer", "TcpTransport"]
+
+_RECV_CHUNK = 65536
+_HEADER_END = b"\r\n\r\n"
+
+
+def _read_http_message(conn: socket.socket) -> bytes:
+    """Read one Content-Length-framed HTTP message from a socket."""
+    data = b""
+    while _HEADER_END not in data:
+        chunk = conn.recv(_RECV_CHUNK)
+        if not chunk:
+            if not data:
+                return b""
+            break
+        data += chunk
+    head, _, rest = data.partition(_HEADER_END)
+    content_length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise TransportError(f"bad Content-Length: {value!r}") from exc
+    while len(rest) < content_length:
+        chunk = conn.recv(_RECV_CHUNK)
+        if not chunk:
+            break
+        rest += chunk
+    return head + _HEADER_END + rest[:content_length]
+
+
+class TcpBatServer:
+    """A threaded TCP server hosting one BAT application.
+
+    Usage::
+
+        server = TcpBatServer(app, time_scale=0.001)
+        server.start()
+        ... TcpTransport({app.hostname: server.address}) ...
+        server.stop()
+    """
+
+    def __init__(
+        self,
+        app: BatServerApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        time_scale: float = 0.0,
+    ) -> None:
+        self._app = app
+        self._time_scale = time_scale
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._running = threading.Event()
+        self._clock_lock = threading.Lock()
+        self._virtual_now = 0.0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.getsockname()
+
+    @property
+    def hostname(self) -> str:
+        return self._app.hostname
+
+    def start(self) -> None:
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"bat-{self._app.hostname}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._running.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "TcpBatServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn, peer), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket, peer: tuple[str, int]) -> None:
+        import time
+
+        with conn:
+            try:
+                raw = _read_http_message(conn)
+                if not raw:
+                    return
+                request = HttpRequest.from_bytes(raw)
+                # The client's residential exit IP travels in a header on
+                # the TCP path (all connections originate from localhost).
+                client_ip = request.header("X-Forwarded-For") or peer[0]
+                with self._clock_lock:
+                    self._virtual_now += 1.0
+                    now = self._virtual_now
+                response = self._app.handle(request, client_ip, now)
+                render_value = response.header(RENDER_HEADER)
+                response.headers.pop(RENDER_HEADER, None)
+                if render_value and self._time_scale > 0:
+                    time.sleep(float(render_value) * self._time_scale)
+                conn.sendall(response.to_bytes())
+            except (TransportError, ValueError) as exc:
+                error = HttpResponse.html(f"<html><body>bad request: {exc}</body></html>", 400)
+                try:
+                    conn.sendall(error.to_bytes())
+                except OSError:
+                    pass
+            except OSError:
+                pass
+
+
+class TcpTransport(Transport):
+    """Client transport speaking real HTTP/1.1 over TCP, one connection per request."""
+
+    def __init__(self, routes: dict[str, tuple[str, int]], timeout: float = 10.0) -> None:
+        self._routes = dict(routes)
+        self._timeout = timeout
+
+    def knows_host(self, host: str) -> bool:
+        return host in self._routes
+
+    def add_route(self, host: str, address: tuple[str, int]) -> None:
+        self._routes[host] = address
+
+    def send(
+        self,
+        request: HttpRequest,
+        host: str,
+        client_ip: str,
+        clock: Clock,
+    ) -> HttpResponse:
+        try:
+            address = self._routes[host]
+        except KeyError:
+            raise TransportError(f"no route to host {host!r}") from None
+        request.set_header("X-Forwarded-For", client_ip)
+        started = clock.now()
+        try:
+            with socket.create_connection(address, timeout=self._timeout) as conn:
+                conn.sendall(request.to_bytes(host))
+                raw = _read_http_message(conn)
+        except OSError as exc:
+            raise TransportError(f"connection to {host} failed: {exc}") from exc
+        if not raw:
+            raise TransportError(f"empty response from {host}")
+        response = HttpResponse.from_bytes(raw)
+        # RealClock advances by itself; VirtualClock callers need a nudge so
+        # elapsed-time accounting works on either clock type.
+        if clock.now() == started:
+            clock.sleep(1e-6)
+        return response

@@ -1,0 +1,139 @@
+"""Transports: how HTTP messages reach a BAT application.
+
+Two implementations share one interface:
+
+* :class:`InProcessTransport` — dispatches directly to the application
+  object and accounts for network RTT and server render time on the
+  caller's (virtual) clock.  This is the fast path used for large curation
+  runs.
+* ``TcpTransport`` (in :mod:`repro.net.tcp`) — serializes the same messages
+  over a real socket to a real threaded server.  Integration tests run the
+  same BQT workflows over both, proving the protocol code is not a mock.
+
+Applications implement :class:`BatServerApp`: a pure function of
+``(request, client_ip, now)``.  Server render delay is communicated through
+the internal ``X-Render-Seconds`` header, which the transport consumes
+(sleeps/advances the clock) and strips before the response reaches the
+client — the client only ever observes elapsed time, like a real browser.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import TransportError
+from .clock import Clock
+from .http import HttpRequest, HttpResponse
+from .latency import LatencyModel
+
+__all__ = ["BatServerApp", "Transport", "InProcessTransport", "RENDER_HEADER"]
+
+RENDER_HEADER = "X-Render-Seconds"
+
+
+class BatServerApp(Protocol):
+    """Server-side application interface."""
+
+    @property
+    def hostname(self) -> str:
+        """The hostname this application serves."""
+        ...
+
+    def handle(self, request: HttpRequest, client_ip: str, now: float) -> HttpResponse:
+        """Process one request.  ``now`` is the server's view of time."""
+        ...
+
+
+class Transport(ABC):
+    """Delivers requests to hosts and accounts for elapsed time."""
+
+    @abstractmethod
+    def send(
+        self,
+        request: HttpRequest,
+        host: str,
+        client_ip: str,
+        clock: Clock,
+    ) -> HttpResponse:
+        """Deliver ``request`` to ``host`` from ``client_ip``.
+
+        Implementations advance (or block on) ``clock`` by the full
+        request-response latency, so ``clock.now()`` deltas measure query
+        resolution time.
+        """
+
+    @abstractmethod
+    def knows_host(self, host: str) -> bool:
+        """Whether this transport can route to ``host``."""
+
+
+class InProcessTransport(Transport):
+    """Direct-dispatch transport with simulated latency.
+
+    Args:
+        latency: Round-trip-time model applied to every request.
+        seed: Seed for the RTT sampler.
+        server_capacity: Number of concurrent clients the servers absorb
+            before render times degrade linearly.  The paper's Section 4.1
+            experiment found no measurable degradation at up to 200
+            parallel containers, so the default capacity is far above that.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        server_capacity: int = 1000,
+    ) -> None:
+        self._apps: dict[str, BatServerApp] = {}
+        self._latency = latency if latency is not None else LatencyModel()
+        self._rng = np.random.default_rng(seed)
+        self._server_capacity = max(1, server_capacity)
+        self.concurrency = 1  # set by the orchestrator for load modeling
+        self._request_counts: dict[str, int] = {}
+
+    def register(self, app: BatServerApp) -> None:
+        """Attach an application at its hostname."""
+        self._apps[app.hostname] = app
+
+    def knows_host(self, host: str) -> bool:
+        return host in self._apps
+
+    @property
+    def hosts(self) -> tuple[str, ...]:
+        return tuple(self._apps)
+
+    def request_count(self, host: str) -> int:
+        """Total requests delivered to one host (politeness accounting)."""
+        return self._request_counts.get(host, 0)
+
+    def _load_multiplier(self) -> float:
+        if self.concurrency <= self._server_capacity:
+            return 1.0
+        return self.concurrency / self._server_capacity
+
+    def send(
+        self,
+        request: HttpRequest,
+        host: str,
+        client_ip: str,
+        clock: Clock,
+    ) -> HttpResponse:
+        try:
+            app = self._apps[host]
+        except KeyError:
+            raise TransportError(f"no route to host {host!r}") from None
+        self._request_counts[host] = self._request_counts.get(host, 0) + 1
+
+        rtt = self._latency.sample_rtt(self._rng)
+        clock.sleep(rtt / 2.0)  # request propagation
+        response = app.handle(request, client_ip, clock.now())
+        render_value = response.header(RENDER_HEADER)
+        render_seconds = float(render_value) if render_value else 0.0
+        response.headers.pop(RENDER_HEADER, None)
+        clock.sleep(render_seconds * self._load_multiplier())
+        clock.sleep(rtt / 2.0)  # response propagation
+        return response

@@ -1,0 +1,72 @@
+"""Deterministic seed derivation.
+
+Every stochastic component in the library takes an explicit seed.  To keep a
+whole-world build reproducible from a single master seed, components derive
+child seeds with :func:`derive_seed`, which hashes the parent seed together
+with a string label.  The derivation is stable across processes and Python
+versions (it uses SHA-256, not ``hash()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "rng_for", "SeedSequenceLabeler"]
+
+_MASK_63 = (1 << 63) - 1
+
+
+def derive_seed(parent_seed: int, *labels: object) -> int:
+    """Derive a child seed from ``parent_seed`` and one or more labels.
+
+    The same ``(parent_seed, labels)`` pair always produces the same child
+    seed; distinct labels produce (with overwhelming probability) distinct
+    seeds.
+
+    >>> derive_seed(42, "geo", "new-orleans") == derive_seed(42, "geo", "new-orleans")
+    True
+    >>> derive_seed(42, "geo") != derive_seed(42, "isp")
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(parent_seed)).encode("utf-8"))
+    for label in labels:
+        hasher.update(b"\x1f")
+        hasher.update(str(label).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big") & _MASK_63
+
+
+def rng_for(parent_seed: int, *labels: object) -> np.random.Generator:
+    """Return a NumPy generator seeded from a derived child seed."""
+    return np.random.default_rng(derive_seed(parent_seed, *labels))
+
+
+class SeedSequenceLabeler:
+    """Convenience wrapper binding a parent seed to a component namespace.
+
+    >>> seeds = SeedSequenceLabeler(7, "addresses")
+    >>> seeds.seed("new-orleans") == derive_seed(7, "addresses", "new-orleans")
+    True
+    """
+
+    def __init__(self, parent_seed: int, namespace: str) -> None:
+        self._parent_seed = int(parent_seed)
+        self._namespace = namespace
+
+    @property
+    def parent_seed(self) -> int:
+        return self._parent_seed
+
+    @property
+    def namespace(self) -> str:
+        return self._namespace
+
+    def seed(self, *labels: object) -> int:
+        """Derive a child seed within this namespace."""
+        return derive_seed(self._parent_seed, self._namespace, *labels)
+
+    def rng(self, *labels: object) -> np.random.Generator:
+        """Return a generator seeded within this namespace."""
+        return np.random.default_rng(self.seed(*labels))

@@ -1,0 +1,59 @@
+"""Shared fixtures: a tiny deterministic world and a curated dataset.
+
+The fixtures are session-scoped because world construction and curation
+dominate test time; individual tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import CurationConfig, CurationPipeline, SamplingConfig
+from repro.world import WorldConfig, build_world
+
+TEST_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """One small city (New Orleans at 8% scale): fast but structured."""
+    return build_world(
+        WorldConfig(seed=TEST_SEED, scale=0.08, cities=("new-orleans",))
+    )
+
+
+@pytest.fixture(scope="session")
+def nola(tiny_world):
+    """The New Orleans CityWorld of the tiny world."""
+    return tiny_world.city("new-orleans")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_world):
+    """A curated dataset over the tiny world (min 8 samples per BG)."""
+    pipeline = CurationPipeline(
+        tiny_world,
+        CurationConfig(
+            sampling=SamplingConfig(fraction=0.10, min_samples=8), n_workers=20
+        ),
+    )
+    return pipeline.curate()
+
+
+@pytest.fixture(scope="session")
+def two_city_world():
+    """Two cities sharing one cable ISP (for inter-city analyses)."""
+    return build_world(
+        WorldConfig(seed=TEST_SEED, scale=0.10, cities=("wichita", "oklahoma-city"))
+    )
+
+
+@pytest.fixture(scope="session")
+def two_city_dataset(two_city_world):
+    pipeline = CurationPipeline(
+        two_city_world,
+        CurationConfig(
+            sampling=SamplingConfig(fraction=0.10, min_samples=8), n_workers=20
+        ),
+    )
+    return pipeline.curate()

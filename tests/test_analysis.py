@@ -1,0 +1,201 @@
+"""Tests for the statistical analysis layer."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis import (
+    ecdf,
+    coefficient_of_variation,
+    income_classes,
+    ks_one_tailed,
+    l1_norm,
+    morans_i,
+    plans_vector,
+)
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.geo import CityGrid, get_city, queen_weights
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return CityGrid(get_city("fargo"), 36, seed=1)  # 6x6
+
+
+@pytest.fixture(scope="module")
+def weights(grid):
+    return queen_weights(grid)
+
+
+class TestMoran:
+    def test_clustered_surface_positive(self, grid, weights):
+        # Left half low, right half high: strongly clustered.
+        values = np.array([1.0 if bg.col < grid.cols / 2 else 9.0 for bg in grid])
+        result = morans_i(values, weights, n_permutations=199)
+        assert result.statistic > 0.5
+        assert result.p_value < 0.05
+        assert result.is_clustered
+
+    def test_checkerboard_negative(self, grid):
+        # Rook weights: on a checkerboard every edge-neighbor differs, the
+        # canonical strongly-negative-autocorrelation surface (queen
+        # contiguity dilutes it with same-color diagonals).
+        from repro.geo import rook_weights
+
+        values = np.array(
+            [1.0 if (bg.row + bg.col) % 2 == 0 else 9.0 for bg in grid]
+        )
+        result = morans_i(values, rook_weights(grid), n_permutations=0)
+        assert result.statistic < -0.4
+
+    def test_random_near_expected(self, grid, weights):
+        rng = np.random.default_rng(5)
+        statistics = [
+            morans_i(rng.standard_normal(36), weights, n_permutations=0).statistic
+            for _ in range(50)
+        ]
+        assert abs(float(np.mean(statistics)) - (-1 / 35)) < 0.08
+
+    def test_constant_raises(self, weights):
+        with pytest.raises(InsufficientDataError):
+            morans_i(np.full(36, 2.0), weights)
+
+    def test_shape_mismatch_raises(self, weights):
+        with pytest.raises(AnalysisError):
+            morans_i(np.ones(5), weights)
+
+    def test_expected_value(self, weights):
+        result = morans_i(np.arange(36.0), weights, n_permutations=0)
+        assert result.expected == pytest.approx(-1 / 35)
+
+    def test_scale_invariant(self, grid, weights):
+        values = np.array([float(bg.col) for bg in grid])
+        a = morans_i(values, weights, n_permutations=0).statistic
+        b = morans_i(values * 100 + 7, weights, n_permutations=0).statistic
+        assert a == pytest.approx(b)
+
+
+class TestKsOneTailed:
+    def test_shifted_sample_detected(self):
+        rng = np.random.default_rng(0)
+        low = rng.normal(0, 1, 200)
+        high = rng.normal(1.5, 1, 200)
+        result = ks_one_tailed(high, low, "greater")
+        assert result.rejects_null()
+        reverse = ks_one_tailed(low, high, "greater")
+        assert not reverse.rejects_null()
+
+    def test_identical_distributions(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0, 1, 300)
+        b = rng.normal(0, 1, 300)
+        # Same distribution: no strong evidence in either direction.
+        assert not ks_one_tailed(a, b, "greater").rejects_null(alpha=0.02)
+        assert not ks_one_tailed(a, b, "less").rejects_null(alpha=0.02)
+
+    def test_matches_scipy_statistic(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.5, 1, 80)
+        b = rng.normal(0.0, 1, 120)
+        ours = ks_one_tailed(a, b, "greater").statistic
+        # scipy alternative='less' tests "CDF of a lies below b", i.e. a
+        # stochastically greater — the same directional statistic.
+        theirs = scipy_stats.ks_2samp(a, b, alternative="less").statistic
+        assert ours == pytest.approx(theirs)
+
+    def test_p_value_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        result = ks_one_tailed(rng.random(50), rng.random(60))
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_degenerate_direction_p_one(self):
+        result = ks_one_tailed([1, 1, 1], [5, 5, 5], "greater")
+        assert result.p_value == 1.0
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(InsufficientDataError):
+            ks_one_tailed([1.0], [2.0, 3.0])
+
+    def test_bad_alternative_raises(self):
+        with pytest.raises(AnalysisError):
+            ks_one_tailed([1, 2], [3, 4], "sideways")
+
+    def test_paper_dual_test_pattern(self):
+        """The Section 5.4 design: exactly one of H1/H2 rejects for a
+        genuinely shifted distribution."""
+        rng = np.random.default_rng(4)
+        monopoly = rng.normal(11.4, 0.5, 100)
+        duopoly = rng.normal(14.6, 0.5, 100)
+        h1 = ks_one_tailed(duopoly, monopoly, "greater")
+        h2 = ks_one_tailed(monopoly, duopoly, "greater")
+        assert h1.rejects_null() and not h2.rejects_null()
+
+
+class TestPlanVectors:
+    def test_vector_sums_to_one(self):
+        vector = plans_vector([1.2, 5.7, 11.3, 28.6])
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_ceil_bucketing(self):
+        vector = plans_vector([10.5, 11.3])
+        assert vector[10] == 0.5  # ceil(10.5)=11 -> index 10
+        assert vector[11] == 0.5  # ceil(11.3)=12 -> index 11
+
+    def test_clamp_above_dim(self):
+        vector = plans_vector([45.0])
+        assert vector[-1] == 1.0
+
+    def test_paper_example_cox(self):
+        """Section 5.1's worked example: New Orleans vs Oklahoma City vs
+        Wichita shares for Cox's 10.5 and 11.3 tiers give L1 norms with
+        the ordering the paper reports (NO-OKC and NO-Wichita different,
+        OKC-Wichita relatively similar)."""
+        def vec(share_105, share_113):
+            values = [10.5] * int(share_105 * 100) + [11.3] * int(share_113 * 100)
+            values += [5.0] * (100 - len(values))  # filler bucket
+            return plans_vector(values)
+
+        nola = vec(0.35, 0.12)
+        okc = vec(0.12, 0.06)
+        wichita = vec(0.04, 0.21)
+        assert l1_norm(okc, wichita) < l1_norm(nola, okc)
+        assert l1_norm(okc, wichita) < l1_norm(nola, wichita)
+
+    def test_l1_metric_properties(self):
+        a = plans_vector([3.0, 5.0])
+        b = plans_vector([10.0, 12.0])
+        assert l1_norm(a, a) == 0.0
+        assert l1_norm(a, b) == l1_norm(b, a)
+        assert 0.0 <= l1_norm(a, b) <= 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            plans_vector([])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(InsufficientDataError):
+            l1_norm(np.ones(30), np.ones(20))
+
+
+class TestStats:
+    def test_ecdf(self):
+        xs, fs = ecdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert fs[-1] == 1.0
+
+    def test_cov(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_cov_zero_mean_raises(self):
+        with pytest.raises(InsufficientDataError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_income_classes_median_split(self):
+        incomes = {f"bg{i}": 1000.0 * (i + 1) for i in range(10)}
+        classes = income_classes(incomes)
+        assert sum(1 for c in classes.values() if c == "low") == 5
+
+    def test_income_classes_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            income_classes({})

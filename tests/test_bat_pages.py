@@ -1,0 +1,117 @@
+"""Tests for BAT page rendering: markup contracts and escaping."""
+
+import pytest
+
+from repro.bat.pages import (
+    escape_html,
+    render_home,
+    render_mdu,
+    render_plans,
+    render_suggestions,
+)
+from repro.bat.profiles import BAT_PROFILES, profile_for
+from repro.core.dom import parse_html
+from repro.isp.plans import catalog_for
+
+
+class TestEscaping:
+    def test_escape_html_basics(self):
+        assert escape_html('<b>&"') == "&lt;b&gt;&amp;&quot;"
+
+    def test_adversarial_address_cannot_inject_markup(self):
+        """A street string containing markup must not create elements —
+        the scraper's DOM would otherwise be attacker-controlled."""
+        hostile = '12 <script>alert(1)</script> St <div class="plan-card">x'
+        markup = render_suggestions(
+            profile_for("cox"), hostile, [(hostile, "70112")]
+        )
+        document = parse_html(markup)
+        assert document.select("script") == []
+        assert document.select("div.plan-card") == []
+
+    def test_hostile_plan_name_escaped(self):
+        from repro.isp.plans import Plan
+
+        plan = Plan("cox", "x", '<img src=x> "Deal"', 100, 10, 50, "cable")
+        markup = render_plans(profile_for("cox"), "12 Oak", [plan])
+        document = parse_html(markup)
+        assert document.select("img") == []
+        name = document.select_one(".plan-name").full_text()
+        assert '"Deal"' in name
+
+
+class TestMarkupContracts:
+    @pytest.mark.parametrize("isp", list(BAT_PROFILES))
+    def test_home_form_has_two_labeled_text_inputs(self, isp):
+        document = parse_html(render_home(profile_for(isp)))
+        form = document.select_one("form#availability-form")
+        assert form is not None
+        inputs = form.select("input")
+        assert len(inputs) == 2
+        labels = form.select("label")
+        assert any("zip" in lbl.full_text().lower() for lbl in labels)
+
+    @pytest.mark.parametrize("isp", list(BAT_PROFILES))
+    def test_form_field_names_match_profile(self, isp):
+        profile = profile_for(isp)
+        document = parse_html(render_home(profile))
+        names = {
+            node.attr("name")
+            for node in document.select("form#availability-form input")
+        }
+        assert names == {profile.address_field, profile.zip_field}
+
+    @pytest.mark.parametrize("isp", list(BAT_PROFILES))
+    def test_suggestion_markup_matches_style(self, isp):
+        profile = profile_for(isp)
+        markup = render_suggestions(
+            profile, "12 Oak Av", [("12 Oak Ave", "70112"), ("14 Oak Ave", "70112")]
+        )
+        document = parse_html(markup)
+        if profile.suggestion_style == "select":
+            options = document.select("select[name=choice] option")
+            # +1 for the placeholder option with empty value.
+            assert len(options) == 3
+        else:
+            buttons = document.select("button[name=choice]")
+            assert len(buttons) == 2
+
+    @pytest.mark.parametrize("isp", list(BAT_PROFILES))
+    def test_plan_markup_matches_style(self, isp):
+        profile = profile_for(isp)
+        catalog = list(catalog_for(isp))
+        document = parse_html(render_plans(profile, "12 Oak Ave", catalog))
+        if profile.plan_markup == "table":
+            assert len(document.select("tr.plan-row")) == len(catalog)
+            assert document.select("div.plan-card") == []
+        else:
+            assert len(document.select("div.plan-card")) == len(catalog)
+            assert document.select("tr.plan-row") == []
+
+    def test_mdu_unit_values_are_indices(self):
+        markup = render_mdu(profile_for("cox"), "12 Oak Ave", ["Apt 1", "Apt 2"])
+        document = parse_html(markup)
+        values = [b.attr("value") for b in document.select("button[name=unit]")]
+        assert values == ["0", "1"]
+
+    def test_kbps_rendering(self):
+        from repro.isp.plans import Plan
+
+        plan = Plan("att", "x", "Basic", 0.768, 0.768, 55, "dsl")
+        markup = render_plans(profile_for("att"), "12 Oak", [plan])
+        assert "768 Kbps" in markup
+
+    def test_speed_formats_parse_back(self):
+        """Round-trip: whatever the server renders, the scraper parses."""
+        from repro.core.parsing import parse_plans_page
+
+        for isp in BAT_PROFILES:
+            catalog = list(catalog_for(isp))
+            document = parse_html(
+                render_plans(profile_for(isp), "12 Oak Ave", catalog)
+            )
+            plans = parse_plans_page(document)
+            for truth, observed in zip(catalog, plans):
+                assert observed.download_mbps == pytest.approx(
+                    truth.download_mbps, rel=0.01
+                ), (isp, truth.plan_id)

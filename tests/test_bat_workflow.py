@@ -1,0 +1,242 @@
+"""Integration tests: BAT application + BQT workflow + safeguards."""
+
+import pytest
+
+from repro.addresses import NoiseClass
+from repro.bat.safeguards import RateLimiter, SafeguardPolicy
+from repro.core import BroadbandQueryTool, QueryStatus
+from repro.core.webdriver import Browser
+from repro.net import HttpRequest, VirtualClock
+
+
+class TestSafeguardPolicy:
+    @pytest.fixture
+    def policy(self):
+        return SafeguardPolicy(secret="s", rate_limit_per_minute=5)
+
+    def test_fresh_token_accepted(self, policy):
+        token = policy.open_session("sid1", "1.1.1.1")
+        decision = policy.check_request("sid1", token, "1.1.1.1", 0.0, True)
+        assert decision.allowed
+
+    def test_stale_token_rejected(self, policy):
+        token = policy.open_session("sid1", "1.1.1.1")
+        policy.rotate_token("sid1")
+        decision = policy.check_request("sid1", token, "1.1.1.1", 0.0, True)
+        assert not decision.allowed
+        assert "stale" in decision.reason
+
+    def test_token_rotates_each_step(self, policy):
+        policy.open_session("sid1", "1.1.1.1")
+        tokens = {policy.rotate_token("sid1") for _ in range(5)}
+        assert len(tokens) == 5
+
+    def test_ip_binding(self, policy):
+        token = policy.open_session("sid1", "1.1.1.1")
+        decision = policy.check_request("sid1", token, "2.2.2.2", 0.0, True)
+        assert not decision.allowed
+        assert "different network" in decision.reason
+
+    def test_missing_session_rejected(self, policy):
+        decision = policy.check_request(None, None, "1.1.1.1", 0.0, True)
+        assert not decision.allowed
+
+    def test_rate_limit(self, policy):
+        token = policy.open_session("sid1", "1.1.1.1")
+        allowed = [
+            policy.check_request("sid1", token, "1.1.1.1", 0.0, False).allowed
+            for _ in range(10)
+        ]
+        assert allowed[:5] == [True] * 5
+        assert not allowed[-1]
+
+
+class TestRateLimiter:
+    def test_window_slides(self):
+        limiter = RateLimiter(max_requests=2, window_seconds=60)
+        assert limiter.check("ip", 0.0)
+        assert limiter.check("ip", 1.0)
+        assert not limiter.check("ip", 2.0)
+        assert limiter.check("ip", 120.0)  # old events expired
+
+    def test_ips_independent(self):
+        limiter = RateLimiter(max_requests=1)
+        assert limiter.check("a", 0.0)
+        assert limiter.check("b", 0.0)
+
+
+class TestBatWorkflowOutcomes:
+    """Drive the real BAT through BQT and check noise-class routing."""
+
+    @pytest.fixture(scope="class")
+    def tool(self, tiny_world):
+        return BroadbandQueryTool(
+            tiny_world.transport, client_ip="73.5.5.5", seed=9,
+            politeness_seconds=60.0,
+        )
+
+    def _entries(self, world, noise_class, n=8):
+        feed = world.city("new-orleans").book.feed
+        return [e for e in feed if e.noise_class == noise_class][:n]
+
+    def test_clean_addresses_resolve_directly(self, tiny_world, tool):
+        for entry in self._entries(tiny_world, NoiseClass.CLEAN):
+            result = tool.query_address("cox", entry)
+            assert result.status in (
+                QueryStatus.PLANS,
+                QueryStatus.NO_SERVICE,
+                QueryStatus.TECHNICAL_ERROR,
+            )
+            if result.status == QueryStatus.PLANS:
+                assert "suggestions" not in result.steps
+                assert "mdu" not in result.steps
+
+    def test_missing_unit_goes_through_mdu(self, tiny_world, tool):
+        saw_mdu = False
+        for entry in self._entries(tiny_world, NoiseClass.MISSING_UNIT):
+            result = tool.query_address("cox", entry)
+            if "mdu" in result.steps:
+                saw_mdu = True
+                assert result.is_hit or result.status == QueryStatus.TECHNICAL_ERROR
+        assert saw_mdu
+
+    def test_typos_recover_through_suggestions(self, tiny_world, tool):
+        recovered = 0
+        for entry in self._entries(tiny_world, NoiseClass.TYPO, n=10):
+            result = tool.query_address("cox", entry)
+            if result.status == QueryStatus.PLANS:
+                assert "suggestions" in result.steps
+                recovered += 1
+        assert recovered >= 5
+
+    def test_wrong_zip_fails_sanity_check(self, tiny_world, tool):
+        for entry in self._entries(tiny_world, NoiseClass.WRONG_ZIP):
+            result = tool.query_address("cox", entry)
+            assert result.status in (
+                QueryStatus.NOT_FOUND,
+                QueryStatus.NO_SUGGESTION_MATCH,
+                QueryStatus.TECHNICAL_ERROR,
+            )
+
+    def test_garbage_never_resolves(self, tiny_world, tool):
+        for entry in self._entries(tiny_world, NoiseClass.GARBAGE):
+            result = tool.query_address("cox", entry)
+            assert not result.is_hit
+
+    def test_existing_customer_interstitial_passable(self, tiny_world, tool):
+        # Over many clean addresses, some hit the interstitial and all of
+        # those must still resolve to plans (the "new customer" path).
+        seen = False
+        for entry in self._entries(tiny_world, NoiseClass.CLEAN, n=30):
+            result = tool.query_address("att", entry)
+            if "existing_customer" in result.steps:
+                seen = True
+                assert result.status in (
+                    QueryStatus.PLANS,
+                    QueryStatus.NO_SERVICE,
+                )
+        assert seen
+
+    def test_flaky_errors_sticky(self, tiny_world, tool):
+        # A technical error for an address must repeat on retry (it is
+        # derived from the address hash, like a broken backend record).
+        feed = tiny_world.city("new-orleans").book.feed
+        flaky = None
+        for entry in feed[:200]:
+            if tool.query_address("att", entry).status == QueryStatus.TECHNICAL_ERROR:
+                flaky = entry
+                break
+        assert flaky is not None
+        assert (
+            tool.query_address("att", flaky).status == QueryStatus.TECHNICAL_ERROR
+        )
+
+    def test_elapsed_time_positive_and_plausible(self, tiny_world, tool):
+        entry = self._entries(tiny_world, NoiseClass.CLEAN, n=1)[0]
+        result = tool.query_address("cox", entry)
+        assert 5.0 < result.elapsed_seconds < 600.0
+
+
+class TestRateLimitBlocking:
+    def test_single_ip_fleet_gets_blocked(self, tiny_world):
+        """Many parallel workers funneling through ONE exit IP trip the
+        per-IP rate limiter — the reason BQT needs a residential proxy
+        pool (Section 4.1)."""
+        feed = tiny_world.city("new-orleans").book.feed
+        statuses = []
+        # 40 parallel sessions, all from the same IP, all near t=0 on
+        # their own clocks: the BAT sees >30 requests in one minute.
+        for worker in range(40):
+            tool = BroadbandQueryTool(
+                tiny_world.transport, client_ip="24.99.99.99", seed=worker,
+                politeness_seconds=0.0,
+            )
+            statuses.append(tool.query_address("cox", feed[worker]).status)
+        assert QueryStatus.BLOCKED in statuses
+
+    def test_polite_worker_not_blocked(self, tiny_world):
+        tool = BroadbandQueryTool(
+            tiny_world.transport, client_ip="24.88.88.88", seed=1,
+            politeness_seconds=30.0,
+        )
+        feed = tiny_world.city("new-orleans").book.feed
+        statuses = [tool.query_address("cox", e).status for e in feed[:15]]
+        assert QueryStatus.BLOCKED not in statuses
+
+
+class TestBrowser:
+    def test_browser_requires_page_before_submit(self, tiny_world):
+        browser = Browser(tiny_world.transport, "73.0.0.1", VirtualClock())
+        from repro.errors import BqtError
+
+        with pytest.raises(BqtError):
+            browser.submit_form("form#availability-form")
+
+    def test_cookie_persistence_across_steps(self, tiny_world):
+        browser = Browser(tiny_world.transport, "73.0.0.2", VirtualClock())
+        host = tiny_world.bats["cox"].hostname
+        browser.get(host, "/")
+        cookies = browser.cookies_for(host)
+        assert "bat_session" in cookies
+        assert "bat_token" in cookies
+
+    def test_reset_session_clears(self, tiny_world):
+        browser = Browser(tiny_world.transport, "73.0.0.3", VirtualClock())
+        host = tiny_world.bats["cox"].hostname
+        browser.get(host, "/")
+        browser.reset_session()
+        assert browser.cookies_for(host) == {}
+        assert browser.history == []
+
+    def test_history_records_loads(self, tiny_world):
+        browser = Browser(tiny_world.transport, "73.0.0.4", VirtualClock())
+        host = tiny_world.bats["cox"].hostname
+        browser.get(host, "/")
+        assert len(browser.history) == 1
+        assert browser.history[0].status == 200
+        assert browser.history[0].elapsed_seconds > 0
+
+    def test_stale_cookie_replay_blocked(self, tiny_world):
+        """Replaying an old token (cookie tampering) trips the safeguard."""
+        from repro.net.http import HttpRequest
+
+        host = tiny_world.bats["cox"].hostname
+        browser = Browser(tiny_world.transport, "73.0.0.5", VirtualClock())
+        document = browser.get(host, "/")
+        form = document.select_one("form#availability-form")
+        inputs = [n.attr("name") for n in form.select("input")]
+        old_token = browser.cookies_for(host)["bat_token"]
+        browser.submit_form(
+            "form#availability-form",
+            fields={inputs[0]: "1 Fake St", inputs[1]: "00000"},
+        )
+        # Hand-craft a request replaying the stale token.
+        request = HttpRequest.form_post(
+            "/availability", {inputs[0]: "1 Fake St", inputs[1]: "00000"}
+        )
+        sid = browser.cookies_for(host)["bat_session"]
+        request.set_header("Cookie", f"bat_session={sid}; bat_token={old_token}")
+        response = tiny_world.transport.send(
+            request, host, "73.0.0.5", VirtualClock()
+        )
+        assert response.status == 403

@@ -1,0 +1,236 @@
+"""Tests for BQT internals: templates, matching, parsing, metrics."""
+
+import pytest
+
+from repro.bat.pages import (
+    render_blocked,
+    render_existing_customer,
+    render_home,
+    render_mdu,
+    render_no_service,
+    render_not_found,
+    render_plans,
+    render_suggestions,
+    render_technical_error,
+)
+from repro.bat.profiles import BAT_PROFILES, profile_for
+from repro.core import (
+    ObservedPlan,
+    QueryStatus,
+    TemplateKind,
+    address_similarity,
+    best_suggestion,
+    classify_page,
+    hit_rate_report,
+    levenshtein,
+    parse_html,
+    parse_plans_page,
+    parse_price,
+    parse_speed,
+    query_time_stats,
+    string_similarity,
+)
+from repro.core.workflow import QueryResult
+from repro.errors import InsufficientDataError, PlanParseError
+from repro.isp.plans import catalog_for
+
+
+class TestTemplateClassification:
+    @pytest.mark.parametrize("isp", list(BAT_PROFILES))
+    def test_home(self, isp):
+        assert classify_page(render_home(profile_for(isp))) == TemplateKind.HOME
+
+    @pytest.mark.parametrize("isp", list(BAT_PROFILES))
+    def test_plans(self, isp):
+        markup = render_plans(
+            profile_for(isp), "12 Oak Ave", list(catalog_for(isp))
+        )
+        assert classify_page(markup) == TemplateKind.PLANS
+
+    @pytest.mark.parametrize("isp", list(BAT_PROFILES))
+    def test_suggestions(self, isp):
+        markup = render_suggestions(
+            profile_for(isp), "12 Oak Av", [("12 Oak Ave", "70112")]
+        )
+        assert classify_page(markup) == TemplateKind.SUGGESTIONS
+
+    @pytest.mark.parametrize("isp", list(BAT_PROFILES))
+    def test_mdu(self, isp):
+        markup = render_mdu(profile_for(isp), "12 Oak Ave", ["Apt 1", "Apt 2"])
+        assert classify_page(markup) == TemplateKind.MDU
+
+    def test_existing_customer(self):
+        markup = render_existing_customer(profile_for("att"), "12 Oak Ave")
+        assert classify_page(markup) == TemplateKind.EXISTING_CUSTOMER
+
+    def test_no_service(self):
+        markup = render_no_service(profile_for("cox"), "12 Oak Ave")
+        assert classify_page(markup) == TemplateKind.NO_SERVICE
+
+    def test_not_found(self):
+        markup = render_not_found(profile_for("cox"), "12 Nowhere")
+        assert classify_page(markup) == TemplateKind.NOT_FOUND
+
+    def test_technical_error(self):
+        markup = render_technical_error(profile_for("spectrum"))
+        assert classify_page(markup) == TemplateKind.TECHNICAL_ERROR
+
+    def test_blocked(self):
+        markup = render_blocked(profile_for("cox"), "rate limit exceeded")
+        assert classify_page(markup) == TemplateKind.BLOCKED
+
+    def test_unknown(self):
+        assert classify_page("<html><body>hi</body></html>") == TemplateKind.UNKNOWN
+
+    def test_outcome_pages_beat_home_signature(self):
+        # A plans page must never classify as HOME even if nav chrome
+        # shares strings with the landing page.
+        markup = render_plans(profile_for("att"), "x", list(catalog_for("att")))
+        assert classify_page(markup) == TemplateKind.PLANS
+
+
+class TestMatching:
+    def test_levenshtein_basics(self):
+        assert levenshtein("", "") == 0
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("magnolia", "magnola") == 1
+
+    def test_levenshtein_symmetry(self):
+        assert levenshtein("abcd", "acbd") == levenshtein("acbd", "abcd")
+
+    def test_string_similarity_bounds(self):
+        assert string_similarity("abc", "abc") == 1.0
+        assert string_similarity("abc", "xyz") == 0.0
+
+    def test_variant_scores_perfect(self):
+        assert address_similarity("12 Magnolia Ave", "12 Magnolia Avenue") == 1.0
+
+    def test_typo_scores_high(self):
+        assert address_similarity("12 Magnola Avenue", "12 Magnolia Avenue") > 0.7
+
+    def test_different_street_scores_low(self):
+        score = address_similarity("12 Magnolia Avenue", "875 Cedar Court")
+        assert score < 0.5
+
+    def test_different_number_penalized(self):
+        same = address_similarity("12 Magnolia Ave", "12 Magnolia Avenue")
+        other = address_similarity("12 Magnolia Ave", "14 Magnolia Avenue")
+        assert other < same
+
+    def test_best_suggestion_picks_right_one(self):
+        suggestions = [
+            ("875 Cedar Court", "70112"),
+            ("12 Magnolia Avenue", "70112"),
+            ("14 Magnolia Avenue", "70112"),
+        ]
+        assert best_suggestion("12 Magnola Ave", "70112", suggestions) == 1
+
+    def test_zip_sanity_check(self):
+        # Paper: suggestions must keep the queried ZIP.
+        suggestions = [("12 Magnolia Avenue", "70113")]
+        assert best_suggestion("12 Magnolia Ave", "70112", suggestions) is None
+
+    def test_threshold_rejects_garbage(self):
+        suggestions = [("875 Cedar Court", "70112")]
+        assert best_suggestion("12 Ma", "70112", suggestions) is None
+
+    def test_empty_suggestions(self):
+        assert best_suggestion("12 Oak Ave", "70112", []) is None
+
+
+class TestPlanParsing:
+    def test_parse_speed_units(self):
+        assert parse_speed("768 Kbps") == pytest.approx(0.768)
+        assert parse_speed("300 Mbps download") == 300.0
+        assert parse_speed("1 Gbps") == 1000.0
+
+    def test_parse_speed_missing_raises(self):
+        with pytest.raises(PlanParseError):
+            parse_speed("fast internet")
+
+    def test_parse_price(self):
+        assert parse_price("$55.00/mo") == 55.0
+        assert parse_price("$1,234.50") == 1234.5
+
+    def test_parse_price_missing_raises(self):
+        with pytest.raises(PlanParseError):
+            parse_price("free!")
+
+    @pytest.mark.parametrize("isp", ["att", "cox"])  # cards and table
+    def test_parse_full_page(self, isp):
+        catalog = list(catalog_for(isp))
+        markup = render_plans(profile_for(isp), "12 Oak Ave", catalog)
+        plans = parse_plans_page(parse_html(markup))
+        assert len(plans) == len(catalog)
+        by_name = {p.name: p for p in plans}
+        for truth in catalog:
+            observed = by_name[truth.name]
+            assert observed.download_mbps == pytest.approx(
+                truth.download_mbps, rel=0.01
+            )
+            assert observed.monthly_price == pytest.approx(truth.monthly_price)
+            assert observed.cv == pytest.approx(truth.cv, rel=0.01)
+
+    def test_parse_empty_page_raises(self):
+        with pytest.raises(PlanParseError):
+            parse_plans_page(parse_html("<html><body>none</body></html>"))
+
+    def test_symmetric_fingerprint(self):
+        fiber = ObservedPlan("Fiber", 300, 300, 55)
+        dsl = ObservedPlan("DSL", 25, 3, 55)
+        assert fiber.looks_symmetric
+        assert not dsl.looks_symmetric
+
+
+def _result(isp, status, elapsed=10.0):
+    return QueryResult(
+        isp=isp, input_line="x", input_zip="y", status=status,
+        elapsed_seconds=elapsed,
+    )
+
+
+class TestMetrics:
+    def test_hit_rate_report(self):
+        results = [
+            _result("cox", QueryStatus.PLANS),
+            _result("cox", QueryStatus.NO_SERVICE),
+            _result("cox", QueryStatus.NOT_FOUND),
+            _result("att", QueryStatus.PLANS),
+        ]
+        report = hit_rate_report(results)
+        assert report.hit_rate("cox") == pytest.approx(2 / 3)
+        assert report.hit_rate("att") == 1.0
+        assert report.overall() == pytest.approx(3 / 4)
+
+    def test_no_service_counts_as_hit(self):
+        assert _result("cox", QueryStatus.NO_SERVICE).is_hit
+
+    def test_blocked_is_not_hit(self):
+        assert not _result("cox", QueryStatus.BLOCKED).is_hit
+
+    def test_empty_report_raises(self):
+        report = hit_rate_report([])
+        with pytest.raises(InsufficientDataError):
+            report.overall()
+
+    def test_query_time_stats(self):
+        results = [
+            _result("cox", QueryStatus.PLANS, elapsed=t)
+            for t in (10.0, 20.0, 30.0)
+        ] + [_result("cox", QueryStatus.NOT_FOUND, elapsed=999.0)]
+        stats = query_time_stats(results, "cox")
+        assert stats.median() == 20.0  # misses excluded by default
+
+    def test_query_time_cdf(self):
+        results = [
+            _result("cox", QueryStatus.PLANS, elapsed=t) for t in (1.0, 2.0)
+        ]
+        stats = query_time_stats(results, "cox")
+        grid, fractions = stats.cdf()
+        assert list(fractions) == [0.5, 1.0]
+
+    def test_rows(self):
+        report = hit_rate_report([_result("cox", QueryStatus.PLANS)])
+        rows = report.as_rows()
+        assert rows == [("cox", 1, 1, 100.0)]

@@ -1,0 +1,227 @@
+"""Tests for dataset curation, sampling, aggregation and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.parsing import ObservedPlan
+from repro.dataset import (
+    AddressObservation,
+    BroadbandDataset,
+    PlanObservation,
+    SamplingConfig,
+    hash_address_id,
+    infer_technology,
+    read_dataset_csv,
+    sample_block_group,
+    sample_city,
+    write_dataset_csv,
+)
+from repro.errors import ConfigurationError, DatasetError
+
+
+class TestSamplingConfig:
+    def test_paper_defaults(self):
+        config = SamplingConfig()
+        assert config.fraction == 0.10
+        assert config.min_samples == 30
+
+    def test_sample_size_fraction(self):
+        assert SamplingConfig(0.1, 30).sample_size(1000) == 100
+
+    def test_sample_size_floor(self):
+        # Paper: at least thirty samples per block group.
+        assert SamplingConfig(0.1, 30).sample_size(100) == 30
+
+    def test_sample_size_capped_at_population(self):
+        assert SamplingConfig(0.1, 30).sample_size(12) == 12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(min_samples=0)
+
+
+class TestSampling:
+    def test_block_group_sample_size(self, nola):
+        config = SamplingConfig(fraction=0.1, min_samples=5)
+        rng = np.random.default_rng(0)
+        geoid = nola.book.block_groups[0]
+        entries = nola.book.feed_in(geoid)
+        sample = sample_block_group(entries, config, rng)
+        assert len(sample) == config.sample_size(len(entries))
+
+    def test_sample_without_replacement(self, nola):
+        config = SamplingConfig(fraction=0.5, min_samples=5)
+        rng = np.random.default_rng(0)
+        entries = nola.book.feed_in(nola.book.block_groups[0])
+        sample = sample_block_group(entries, config, rng)
+        truths = [e.truth for e in sample]
+        assert len(set(truths)) == len(truths)
+
+    def test_city_sample_covers_all_block_groups(self, nola, tiny_world):
+        samples = sample_city(
+            nola.book, SamplingConfig(0.1, 5), tiny_world.seed, "cox"
+        )
+        assert set(samples) == set(nola.book.block_groups)
+
+    def test_per_isp_samples_independent(self, nola, tiny_world):
+        a = sample_city(nola.book, SamplingConfig(0.1, 5), tiny_world.seed, "cox")
+        b = sample_city(nola.book, SamplingConfig(0.1, 5), tiny_world.seed, "att")
+        geoid = nola.book.block_groups[0]
+        assert [e.street_line for e in a[geoid]] != [
+            e.street_line for e in b[geoid]
+        ]
+
+    def test_deterministic(self, nola, tiny_world):
+        a = sample_city(nola.book, SamplingConfig(0.1, 5), tiny_world.seed, "cox")
+        b = sample_city(nola.book, SamplingConfig(0.1, 5), tiny_world.seed, "cox")
+        geoid = nola.book.block_groups[0]
+        assert [e.street_line for e in a[geoid]] == [
+            e.street_line for e in b[geoid]
+        ]
+
+
+class TestRecords:
+    def test_plan_cv(self):
+        plan = PlanObservation("x", 250, 10, 22)
+        assert plan.cv == pytest.approx(11.36, abs=0.01)
+
+    def test_from_observed(self):
+        observed = ObservedPlan("Fiber 300", 300, 300, 55)
+        plan = PlanObservation.from_observed(observed)
+        assert plan.download_mbps == 300
+
+    def test_infer_technology_fiber(self):
+        plans = (PlanObservation("f", 300, 300, 55),)
+        assert infer_technology("att", plans) == "fiber"
+
+    def test_infer_technology_dsl(self):
+        plans = (PlanObservation("d", 25, 3, 55),)
+        assert infer_technology("att", plans) == "dsl"
+
+    def test_infer_technology_cable_by_registry(self):
+        plans = (PlanObservation("c", 1000, 35, 100),)
+        assert infer_technology("cox", plans) == "cable"
+
+    def test_infer_technology_unknown(self):
+        assert infer_technology("att", ()) == "unknown"
+
+    def test_best_cv(self):
+        obs = AddressObservation(
+            address_id="x", city="c", block_group="bg", isp="cox",
+            status="plans",
+            plans=(
+                PlanObservation("a", 250, 10, 22),
+                PlanObservation("b", 1000, 35, 68.5),
+            ),
+            elapsed_seconds=10.0,
+        )
+        assert obs.best_cv == pytest.approx(14.6, abs=0.01)
+
+    def test_hash_address_id_stable_and_salted(self):
+        a = hash_address_id("12 Oak Ave", "70112", "salt1")
+        assert a == hash_address_id("12 Oak Ave", "70112", "salt1")
+        assert a != hash_address_id("12 Oak Ave", "70112", "salt2")
+        assert len(a) == 16
+
+
+class TestCuratedDataset:
+    def test_nonempty(self, tiny_dataset):
+        tiny_dataset.require_nonempty()
+        assert len(tiny_dataset) > 500
+
+    def test_cities_and_isps(self, tiny_dataset):
+        assert tiny_dataset.cities() == ("new-orleans",)
+        assert set(tiny_dataset.isps()) == {"att", "cox"}
+
+    def test_observation_fields_sane(self, tiny_dataset):
+        for obs in tiny_dataset:
+            assert obs.city == "new-orleans"
+            assert obs.block_group.startswith("new-orleans-bg-")
+            assert obs.elapsed_seconds > 0
+            if obs.status == "plans":
+                assert obs.plans
+            else:
+                assert not obs.plans
+
+    def test_address_ids_hashed(self, tiny_dataset):
+        for obs in tiny_dataset:
+            assert len(obs.address_id) == 16
+            int(obs.address_id, 16)  # valid hex
+
+    def test_hit_rate_in_paper_band(self, tiny_dataset):
+        hits = sum(1 for o in tiny_dataset if o.is_hit)
+        assert 0.78 <= hits / len(tiny_dataset) <= 0.99
+
+    def test_block_group_medians(self, tiny_dataset):
+        medians = tiny_dataset.block_group_median_cv("new-orleans", "cox")
+        assert medians
+        for cv in medians.values():
+            assert 0 < cv < 120
+
+    def test_cov_nonnegative(self, tiny_dataset):
+        for cov in tiny_dataset.block_group_cov("new-orleans", "att").values():
+            assert cov >= 0
+
+    def test_aggregates_consistent(self, tiny_dataset):
+        for agg in tiny_dataset.aggregates("new-orleans", "cox"):
+            assert agg.n_with_plans <= agg.n_addresses
+            if agg.median_cv is not None:
+                assert agg.served
+
+    def test_summary_counts(self, tiny_dataset):
+        counts = tiny_dataset.summary_counts()
+        assert counts["cities"] == 1
+        assert counts["isps"] == 2
+        assert counts["observations"] == len(tiny_dataset)
+
+    def test_merged_with(self, tiny_dataset):
+        merged = tiny_dataset.merged_with(BroadbandDataset(()))
+        assert len(merged) == len(tiny_dataset)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            BroadbandDataset(()).require_nonempty()
+
+
+class TestIo:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "release.csv"
+        n = write_dataset_csv(tiny_dataset, path)
+        assert n == len(tiny_dataset)
+        loaded = read_dataset_csv(path)
+        assert len(loaded) == len(tiny_dataset)
+        original = tiny_dataset.observations[0]
+        restored = loaded.observations[0]
+        assert restored.address_id == original.address_id
+        assert restored.plans == original.plans
+        assert restored.elapsed_seconds == pytest.approx(
+            original.elapsed_seconds, abs=0.01
+        )
+
+    def test_aggregation_survives_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "release.csv"
+        write_dataset_csv(tiny_dataset, path)
+        loaded = read_dataset_csv(path)
+        assert loaded.block_group_median_cv(
+            "new-orleans", "cox"
+        ) == tiny_dataset.block_group_median_cv("new-orleans", "cox")
+
+    def test_no_raw_street_strings_in_release(self, tiny_dataset, tmp_path):
+        """Privacy: the release file never contains street lines."""
+        path = tmp_path / "release.csv"
+        write_dataset_csv(tiny_dataset, path)
+        content = path.read_text()
+        for token in ("Avenue", "Street", "Boulevard", " Apt "):
+            assert token not in content
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_dataset_csv(tmp_path / "nope.csv")
+
+    def test_bad_columns_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DatasetError):
+            read_dataset_csv(path)

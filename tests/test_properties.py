@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ks_one_tailed, l1_norm, morans_i, plans_vector
+from repro.core.dom import parse_html
+from repro.core.matching import (
+    address_similarity,
+    levenshtein,
+    string_similarity,
+)
+from repro.addresses.normalize import (
+    canonical_key,
+    normalize_street_line,
+    normalize_zip,
+)
+from repro.bat.pages import escape_html
+from repro.geo import CityGrid, get_city, queen_weights
+from repro.net.http import HttpRequest, HttpResponse, decode_form, encode_form
+from repro.seeding import derive_seed
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+street_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=30,
+)
+form_keys = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x7F),
+    min_size=1,
+    max_size=12,
+)
+form_values = st.text(max_size=40)
+cv_lists = st.lists(
+    st.floats(min_value=0.01, max_value=40.0, allow_nan=False), min_size=1,
+    max_size=60,
+)
+
+
+class TestNormalizationProperties:
+    @given(street_text)
+    def test_normalize_idempotent(self, line):
+        once = normalize_street_line(line)
+        assert normalize_street_line(once) == once
+
+    @given(street_text)
+    def test_normalize_uppercase(self, line):
+        assert normalize_street_line(line) == normalize_street_line(line).upper()
+
+    @given(street_text, st.text(alphabet="0123456789-", min_size=1, max_size=10))
+    def test_canonical_key_deterministic(self, line, zip_code):
+        assert canonical_key(line, zip_code) == canonical_key(line, zip_code)
+
+    @given(st.text(alphabet="0123456789-", max_size=12))
+    def test_zip_always_five_or_fewer_digits(self, raw):
+        zip5 = normalize_zip(raw)
+        assert len(zip5) <= 5
+        assert zip5.isdigit() or zip5 == ""
+
+
+class TestMatchingProperties:
+    @given(street_text, street_text)
+    def test_levenshtein_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(street_text, street_text)
+    def test_levenshtein_bounds(self, a, b):
+        distance = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(street_text)
+    def test_levenshtein_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(street_text, street_text, street_text)
+    def test_levenshtein_triangle(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(street_text, street_text)
+    def test_string_similarity_unit_interval(self, a, b):
+        assert 0.0 <= string_similarity(a, b) <= 1.0
+
+    @given(street_text, street_text)
+    def test_address_similarity_unit_interval(self, a, b):
+        assert 0.0 <= address_similarity(a, b) <= 1.0
+
+    @given(street_text)
+    def test_self_similarity_perfect(self, line):
+        assert address_similarity(line, line) == 1.0
+
+
+class TestHttpProperties:
+    @given(st.dictionaries(form_keys, form_values, max_size=8))
+    def test_form_roundtrip(self, fields):
+        assert decode_form(encode_form(fields)) == fields
+
+    @given(form_keys, st.binary(max_size=200))
+    def test_request_roundtrip(self, path_token, body):
+        request = HttpRequest("POST", f"/{path_token}", body=body)
+        request.set_header("X-Test", "1")
+        parsed = HttpRequest.from_bytes(request.to_bytes("h.example"))
+        assert parsed.method == "POST"
+        assert parsed.path == f"/{path_token}"
+        assert parsed.body == body
+
+    @given(st.integers(min_value=100, max_value=599), st.binary(max_size=200))
+    def test_response_roundtrip(self, status, body):
+        response = HttpResponse(status, body=body)
+        parsed = HttpResponse.from_bytes(response.to_bytes())
+        assert parsed.status == status
+        assert parsed.body == body
+
+
+class TestDomProperties:
+    @given(st.text(max_size=120))
+    def test_escaped_text_roundtrips_through_dom(self, text):
+        markup = f"<p class='x'>{escape_html(text)}</p>"
+        node = parse_html(markup).select_one("p.x")
+        assert node is not None
+        expected = " ".join(text.split())
+        assert node.full_text() == expected
+
+    @given(st.lists(st.text(alphabet="ab", min_size=1, max_size=4), max_size=8))
+    def test_list_items_preserved(self, items):
+        markup = "<ul>" + "".join(f"<li>{i}</li>" for i in items) + "</ul>"
+        parsed = parse_html(markup).select("li")
+        assert len(parsed) == len(items)
+
+
+class TestAnalysisProperties:
+    @given(cv_lists)
+    def test_plans_vector_is_distribution(self, cvs):
+        vector = plans_vector(cvs)
+        assert vector.shape == (30,)
+        assert np.all(vector >= 0)
+        assert vector.sum() == 1.0 or abs(vector.sum() - 1.0) < 1e-9
+
+    @given(cv_lists, cv_lists)
+    def test_l1_norm_metric(self, a, b):
+        va, vb = plans_vector(a), plans_vector(b)
+        assert l1_norm(va, vb) == l1_norm(vb, va)
+        assert 0.0 <= l1_norm(va, vb) <= 2.0
+        assert l1_norm(va, va) == 0.0
+
+    @given(
+        st.lists(st.floats(1.0, 50.0, allow_nan=False), min_size=2, max_size=40),
+        st.lists(st.floats(1.0, 50.0, allow_nan=False), min_size=2, max_size=40),
+    )
+    def test_ks_pvalue_bounds_and_antisymmetry(self, a, b):
+        greater = ks_one_tailed(a, b, "greater")
+        less = ks_one_tailed(a, b, "less")
+        assert 0.0 <= greater.p_value <= 1.0
+        assert 0.0 <= less.p_value <= 1.0
+        # The two directional statistics are the D+ / D- pair: the larger
+        # equals the classical two-sided D.
+        two_sided = max(greater.statistic, less.statistic)
+        assert two_sided >= 0.0
+
+    @given(
+        st.lists(st.floats(1.0, 50.0, allow_nan=False), min_size=2, max_size=30)
+    )
+    def test_ks_self_comparison_never_rejects(self, a):
+        result = ks_one_tailed(a, a, "greater")
+        assert result.p_value == 1.0
+
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_moran_bounded_on_random_fields(self, seed):
+        grid = CityGrid(get_city("fargo"), 25, seed=1)
+        weights = queen_weights(grid)
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(25)
+        result = morans_i(values, weights, n_permutations=0)
+        # Moran's I is bounded (roughly) by the extreme eigenvalues of W;
+        # for row-standardized contiguity it lies within [-1.2, 1.2].
+        assert -1.2 <= result.statistic <= 1.2
+
+
+class TestSeedingProperties:
+    @given(st.integers(0, 2**31), st.text(max_size=20))
+    def test_derive_seed_range(self, parent, label):
+        seed = derive_seed(parent, label)
+        assert 0 <= seed < 2**63
+
+    @given(st.integers(0, 2**31), st.text(max_size=20), st.text(max_size=20))
+    def test_distinct_labels_distinct_seeds(self, parent, a, b):
+        if a != b:
+            assert derive_seed(parent, a) != derive_seed(parent, b)

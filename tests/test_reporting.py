@@ -1,0 +1,59 @@
+"""Tests for the policy-report module."""
+
+import pytest
+
+from repro.analysis.reporting import city_affordability_report
+from repro.errors import InsufficientDataError
+
+
+class TestCityReport:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_world, tiny_dataset):
+        incomes = {
+            r.geoid: r.median_household_income
+            for r in tiny_world.city("new-orleans").acs
+        }
+        return city_affordability_report(tiny_dataset, "new-orleans", incomes)
+
+    def test_both_isps_summarized(self, report):
+        assert {s.isp for s in report.isps} == {"att", "cox"}
+
+    def test_quartiles_ordered(self, report):
+        for summary in report.isps:
+            q25, q50, q75 = summary.cv_quartiles
+            assert q25 <= q50 <= q75
+
+    def test_cable_is_best_deal(self, report):
+        """Figure 7: the cable ISP dominates; the city's best median comes
+        from Cox."""
+        assert report.best_median_cv == report.summary_for("cox").median_cv
+
+    def test_att_has_bad_deal_share(self, report):
+        """AT&T's DSL block groups fall under the 2 Mbps/$ threshold."""
+        assert report.summary_for("att").bad_deal_share > 0.1
+        assert report.summary_for("cox").bad_deal_share == 0.0
+
+    def test_fiber_competition_share(self, report, tiny_world):
+        truth = tiny_world.city("new-orleans").market.mode_counts()
+        truth_share = truth.get("cable_fiber_duopoly", 0) / sum(
+            v for k, v in truth.items() if k != "unserved"
+        )
+        assert report.fiber_competition_share == pytest.approx(
+            truth_share, abs=0.15
+        )
+
+    def test_income_gap_present(self, report):
+        assert report.income_fiber_gap_points is not None
+
+    def test_unknown_isp_raises(self, report):
+        with pytest.raises(InsufficientDataError):
+            report.summary_for("verizon")
+
+    def test_unknown_city_raises(self, tiny_dataset):
+        with pytest.raises(InsufficientDataError):
+            city_affordability_report(tiny_dataset, "gotham")
+
+    def test_report_without_incomes(self, tiny_dataset):
+        report = city_affordability_report(tiny_dataset, "new-orleans")
+        assert report.income_fiber_gap_points is None
+        assert report.isps

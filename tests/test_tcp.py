@@ -1,0 +1,125 @@
+"""Integration tests for the real-TCP transport path."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net import (
+    HttpRequest,
+    HttpResponse,
+    RealClock,
+    TcpBatServer,
+    TcpTransport,
+    VirtualClock,
+)
+from repro.net.transport import RENDER_HEADER
+
+
+class _PingApp:
+    hostname = "ping.example"
+
+    def handle(self, request, client_ip, now):
+        if request.method == "POST":
+            form = request.form()
+            body = f"<html>pong {form.get('n', '?')} from {client_ip}</html>"
+        else:
+            body = "<html>pong</html>"
+        response = HttpResponse.html(body)
+        response.set_header(RENDER_HEADER, "5.0")
+        response.add_header("Set-Cookie", "sid=tcp-test")
+        return response
+
+
+@pytest.fixture(scope="module")
+def server():
+    with TcpBatServer(_PingApp(), time_scale=0.0) as srv:
+        yield srv
+
+
+@pytest.fixture
+def transport(server):
+    return TcpTransport({server.hostname: server.address})
+
+
+class TestTcpRoundtrip:
+    def test_get(self, transport):
+        response = transport.send(
+            HttpRequest.get("/"), "ping.example", "73.1.1.1", RealClock()
+        )
+        assert response.status == 200
+        assert "pong" in response.text()
+
+    def test_post_form(self, transport):
+        response = transport.send(
+            HttpRequest.form_post("/check", {"n": "42"}),
+            "ping.example",
+            "73.1.1.1",
+            RealClock(),
+        )
+        assert "pong 42" in response.text()
+
+    def test_client_ip_travels_in_header(self, transport):
+        response = transport.send(
+            HttpRequest.form_post("/check", {"n": "1"}),
+            "ping.example",
+            "98.7.6.5",
+            RealClock(),
+        )
+        assert "98.7.6.5" in response.text()
+
+    def test_set_cookie_survives(self, transport):
+        response = transport.send(
+            HttpRequest.get("/"), "ping.example", "73.1.1.1", RealClock()
+        )
+        assert response.all_headers("Set-Cookie") == ["sid=tcp-test"]
+
+    def test_render_header_stripped(self, transport):
+        response = transport.send(
+            HttpRequest.get("/"), "ping.example", "73.1.1.1", RealClock()
+        )
+        assert response.header(RENDER_HEADER) is None
+
+    def test_virtual_clock_nudged(self, transport):
+        clock = VirtualClock()
+        transport.send(HttpRequest.get("/"), "ping.example", "73.1.1.1", clock)
+        assert clock.now() > 0.0
+
+    def test_unknown_host(self, transport):
+        with pytest.raises(TransportError):
+            transport.send(HttpRequest.get("/"), "nope", "73.1.1.1", RealClock())
+
+    def test_many_sequential_requests(self, transport):
+        for i in range(20):
+            response = transport.send(
+                HttpRequest.form_post("/check", {"n": str(i)}),
+                "ping.example",
+                "73.1.1.1",
+                RealClock(),
+            )
+            assert f"pong {i}" in response.text()
+
+    def test_connection_refused(self):
+        dead = TcpTransport({"dead.example": ("127.0.0.1", 1)}, timeout=0.5)
+        with pytest.raises(TransportError):
+            dead.send(HttpRequest.get("/"), "dead.example", "73.1.1.1", RealClock())
+
+
+class TestBqtOverTcp:
+    def test_full_workflow_over_tcp(self, tiny_world):
+        """The same BQT workflow that runs in-process works over a socket."""
+        from repro.core import BroadbandQueryTool
+
+        app = tiny_world.bats["cox"]
+        with TcpBatServer(app, time_scale=0.0) as srv:
+            transport = TcpTransport({srv.hostname: srv.address})
+            tool = BroadbandQueryTool(
+                transport,
+                client_ip="24.10.20.30",
+                clock=RealClock(),
+                politeness_seconds=0.0,
+            )
+            entries = tiny_world.city("new-orleans").book.feed
+            hits = 0
+            for entry in entries[:10]:
+                result = tool.query_address("cox", entry)
+                hits += result.is_hit
+            assert hits >= 7

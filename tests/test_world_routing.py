@@ -1,0 +1,51 @@
+"""Multi-city BAT routing: one ISP application serves all of its cities."""
+
+import pytest
+
+from repro.core import BroadbandQueryTool, QueryStatus
+
+
+class TestCrossCityRouting:
+    def test_one_bat_serves_both_cities(self, two_city_world):
+        """Cox's single BAT must resolve Wichita and Oklahoma City
+        addresses alike — the paper queries one endpoint per ISP."""
+        tool = BroadbandQueryTool(
+            two_city_world.transport, client_ip="76.4.4.4", seed=2,
+            politeness_seconds=45.0,
+        )
+        for city in ("wichita", "oklahoma-city"):
+            entry = next(
+                e
+                for e in two_city_world.city(city).book.feed
+                if e.noise_class == "clean"
+            )
+            result = tool.query_address("cox", entry)
+            assert result.is_hit, (city, result.status)
+
+    def test_cross_city_zip_does_not_leak(self, two_city_world):
+        """A Wichita street line with an Oklahoma City ZIP must not match
+        a record (ZIPs partition the serviceability database)."""
+        wichita_entry = two_city_world.city("wichita").book.canonical[0]
+        okc_entry = two_city_world.city("oklahoma-city").book.canonical[0]
+        tool = BroadbandQueryTool(
+            two_city_world.transport, client_ip="76.4.4.5", seed=2,
+            politeness_seconds=45.0,
+        )
+        result = tool.query(
+            "cox", wichita_entry.street_line(), okc_entry.zip_code
+        )
+        assert result.status in (
+            QueryStatus.NOT_FOUND,
+            QueryStatus.NO_SUGGESTION_MATCH,
+            QueryStatus.TECHNICAL_ERROR,
+        )
+
+    def test_isp_absent_from_world_unroutable(self, two_city_world):
+        """Verizon serves neither city, so its BAT is not registered."""
+        from repro.errors import TransportError
+
+        tool = BroadbandQueryTool(
+            two_city_world.transport, client_ip="76.4.4.6", seed=2
+        )
+        with pytest.raises(TransportError):
+            tool.query("verizon", "12 Oak Ave", "67000")
