@@ -1,0 +1,28 @@
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test test-fast bench lint experiments
+
+## Full tier-1 suite: every test plus the curation-heavy benchmarks (~5 min).
+test:
+	$(PYTEST) -q
+
+## Fast path: skips tests marked slow (the full-context benchmarks); < 2 min.
+test-fast:
+	$(PYTEST) -q -m "not slow"
+
+## Only the benchmark suite (regenerates benchmarks/output/).
+bench:
+	$(PYTEST) -q benchmarks
+
+## Syntax/lint gate: ruff when installed, byte-compilation always.
+lint:
+	python -m compileall -q src tests benchmarks examples
+	@if python -c "import ruff" 2>/dev/null || command -v ruff >/dev/null; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; compileall gate only"; \
+	fi
+
+## Regenerate every paper table/figure.
+experiments:
+	PYTHONPATH=src python -m repro.experiments

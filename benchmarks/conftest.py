@@ -22,6 +22,18 @@ from repro.experiments import ExperimentResult, get_context
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark that needs the full experiment context as slow.
+
+    Building that context (a thirty-city world plus its curation) takes
+    minutes, so ``-m "not slow"`` gives a fast suite that still runs all
+    unit/integration tests and the context-free benchmarks.
+    """
+    for item in items:
+        if "context" in getattr(item, "fixturenames", ()):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def context():
     """The session-wide world + curated dataset."""

@@ -19,6 +19,9 @@ from repro.isp import DeploymentConfig, OfferConfig
 from repro.isp.market import MODE_CABLE_FIBER_DUOPOLY
 from repro.world import WorldConfig, build_world
 
+# Each ablation builds and curates its own three-city world: slow.
+pytestmark = pytest.mark.slow
+
 _CITIES = ("new-orleans", "wichita", "oklahoma-city")
 _SCALE = 0.30
 

@@ -14,7 +14,11 @@ The package rebuilds the paper's entire measurement system in pure Python:
 * :mod:`repro.geo`, :mod:`repro.addresses`, :mod:`repro.isp` — synthetic
   census geography, a Zillow-like noisy address feed, and ground-truth ISP
   deployments/plans;
-* :mod:`repro.dataset` — the stratified-sampling curation pipeline;
+* :mod:`repro.dataset` — the stratified-sampling curation pipeline,
+  sharded by (city, ISP) and backend-agnostic;
+* :mod:`repro.exec` — pluggable execution backends (serial / thread /
+  process) and the content-addressed query-result cache; every backend
+  produces byte-identical datasets;
 * :mod:`repro.analysis` — carriage values, Moran's I, one-tailed KS
   competition tests, income splits;
 * :mod:`repro.experiments` — one module per paper table/figure.
@@ -37,6 +41,14 @@ from .dataset.container import BroadbandDataset
 from .dataset.curation import CurationConfig, CurationPipeline
 from .dataset.sampling import SamplingConfig
 from .errors import ReproError
+from .exec import (
+    Executor,
+    ProcessPoolBackend,
+    QueryResultCache,
+    SerialExecutor,
+    ThreadPoolBackend,
+    resolve_executor,
+)
 from .isp.plans import Plan, carriage_value
 from .world import World, WorldConfig, build_world
 
@@ -52,6 +64,12 @@ __all__ = [
     "BroadbandDataset",
     "SamplingConfig",
     "ReproError",
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "QueryResultCache",
+    "resolve_executor",
     "Plan",
     "carriage_value",
     "World",

@@ -52,7 +52,15 @@ def l1_norm(vector_a: np.ndarray, vector_b: np.ndarray) -> float:
         raise InsufficientDataError(
             f"plan vectors have different shapes: {a.shape} vs {b.shape}"
         )
-    return float(np.abs(a - b).sum())
+    total = float(np.abs(a - b).sum())
+    # Plan vectors are distributions, so 2.0 is the exact supremum; the
+    # elementwise sum can overshoot it by float-accumulation epsilon
+    # (e.g. five 0.2 buckets vs five disjoint 0.2 buckets).  Only absorb
+    # that epsilon — larger totals mean non-distribution inputs and are
+    # returned as-is.
+    if 2.0 < total < 2.0 + 1e-9:
+        return 2.0
+    return total
 
 
 def city_pair_l1_norms(

@@ -1,7 +1,12 @@
 """Dataset curation: sampling, the BQT pipeline, records, serialization."""
 
 from .container import BlockGroupAggregate, BroadbandDataset
-from .curation import CurationConfig, CurationPipeline, hash_address_id
+from .curation import (
+    CurationConfig,
+    CurationPipeline,
+    CurationRunReport,
+    hash_address_id,
+)
 from .io import read_dataset_csv, write_dataset_csv
 from .records import AddressObservation, PlanObservation, infer_technology
 from .sampling import SamplingConfig, sample_block_group, sample_city
@@ -11,6 +16,7 @@ __all__ = [
     "BroadbandDataset",
     "CurationConfig",
     "CurationPipeline",
+    "CurationRunReport",
     "hash_address_id",
     "read_dataset_csv",
     "write_dataset_csv",

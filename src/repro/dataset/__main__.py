@@ -14,6 +14,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..exec.base import EXECUTOR_BACKENDS, default_backend
 from ..world import WorldConfig, build_world
 from .curation import CurationConfig, CurationPipeline
 from .io import write_dataset_csv
@@ -37,6 +38,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-block-group sample floor (paper: 30)")
     parser.add_argument("--workers", type=int, default=50,
                         help="BQT container-fleet size (paper: 50-100)")
+    parser.add_argument("--backend", default=None,
+                        choices=EXECUTOR_BACKENDS,
+                        help="shard execution backend (default: "
+                             "REPRO_EXEC_BACKEND or serial; all backends "
+                             "produce the identical dataset)")
     args = parser.parse_args(argv)
 
     started = time.time()
@@ -58,6 +64,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             n_workers=args.workers,
         ),
+        executor=args.backend if args.backend is not None else default_backend(),
     )
     started = time.time()
     dataset = pipeline.curate(

@@ -6,6 +6,17 @@ servers, and assembly into the curated dataset.  The pipeline consumes
 **only** the address feed and the HTTP transport — ground-truth deployment
 objects are never touched, so every analysis result downstream is a genuine
 measurement of the simulated ISPs.
+
+Execution is sharded by (city, ISP) pair, mirroring how the paper split
+collection across its container fleet.  Every shard is a *pure function*
+of the world configuration and seeds derived from ``(city, ISP)``: it gets
+its own fleet, its own residential proxy pool, and its own transport + BAT
+server instance (fresh RTT sampler, render-delay stream, session table and
+rate-limit windows).  Shards therefore run in any order — or in parallel
+on any :mod:`repro.exec` backend — and the merged dataset is byte-identical
+to a serial run.  A :class:`~repro.exec.cache.QueryResultCache` can be
+attached to skip replaying shards whose content-addressed keys are already
+known.
 """
 
 from __future__ import annotations
@@ -13,17 +24,35 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from ..addresses.database import AddressIndex
 from ..addresses.noise import NoisyAddress
+from ..bat.app import BatApplication
+from ..bat.profiles import profile_for
 from ..core.orchestrator import ContainerFleet
 from ..core.workflow import QueryResult
 from ..errors import DatasetError
+from ..exec.base import Executor, resolve_executor
+from ..exec.cache import QueryResultCache, address_cache_key
+from ..net.proxy import ResidentialProxyPool
+from ..net.transport import InProcessTransport
 from ..seeding import derive_seed
-from ..world import World
+from ..world import (
+    CityWorld,
+    World,
+    WorldConfig,
+    build_city_world,
+    offer_resolver,
+)
 from .container import BroadbandDataset
 from .records import AddressObservation, PlanObservation
 from .sampling import SamplingConfig, sample_city
 
-__all__ = ["CurationConfig", "CurationPipeline", "hash_address_id"]
+__all__ = [
+    "CurationConfig",
+    "CurationPipeline",
+    "CurationRunReport",
+    "hash_address_id",
+]
 
 
 def hash_address_id(street_line: str, zip_code: str, salt: str) -> str:
@@ -38,8 +67,9 @@ class CurationConfig:
 
     Attributes:
         sampling: Stratified-sampling parameters (10% / min 30 by default).
-        n_workers: BQT fleet size.  The paper uses 50-100 containers and
-            verified up to 200 leave ISP response times unaffected.
+        n_workers: BQT fleet size per (city, ISP) shard.  The paper uses
+            50-100 containers and verified up to 200 leave ISP response
+            times unaffected.
         politeness_seconds: Per-worker pause between queries.
         salt: Salt for the privacy-preserving address hash.
     """
@@ -50,33 +80,92 @@ class CurationConfig:
     salt: str = "bqt-release"
 
 
-class CurationPipeline:
-    """Runs the full data-collection methodology against a world."""
+@dataclass(frozen=True)
+class CurationRunReport:
+    """Accounting for the most recent :meth:`CurationPipeline.curate` call."""
 
-    def __init__(self, world: World, config: CurationConfig | None = None) -> None:
-        self._world = world
-        self.config = config or CurationConfig()
+    shards: tuple[tuple[str, str], ...]
+    cached_shards: int
+    executed_shards: int
+    backend: str
 
-    def _tasks_for(
-        self, city: str, isp: str
-    ) -> list[tuple[str, NoisyAddress]]:
-        """Stratified sample for one (city, ISP) pair, flattened to tasks."""
-        city_world = self._world.city(city)
-        samples = sample_city(
-            city_world.book, self.config.sampling, self._world.seed, isp
+    @property
+    def total_shards(self) -> int:
+        return len(self.shards)
+
+
+def _shard_tasks(
+    city_world: CityWorld,
+    isp: str,
+    sampling: SamplingConfig,
+    world_seed: int,
+) -> list[NoisyAddress]:
+    """Stratified sample for one (city, ISP) shard, flattened to tasks.
+
+    Task order is geoid-sorted and therefore identical however and
+    wherever the shard runs.
+    """
+    samples = sample_city(city_world.book, sampling, world_seed, isp)
+    tasks: list[NoisyAddress] = []
+    for geoid in sorted(samples):
+        tasks.extend(samples[geoid])
+    return tasks
+
+
+def _shard_observations(
+    world_config: WorldConfig,
+    city_world: CityWorld,
+    isp: str,
+    config: CurationConfig,
+    tasks: list[NoisyAddress] | None = None,
+) -> tuple[AddressObservation, ...]:
+    """Execute one (city, ISP) shard against fresh per-shard server state.
+
+    The shard's transport, BAT application, proxy pool and fleet are all
+    constructed here from seeds derived from ``(city, ISP)``, so the
+    returned observations depend only on ``(world_config, city, isp,
+    config)`` — never on sibling shards, execution order, or the backend.
+    ``tasks`` may be supplied by a caller that already sampled the shard
+    (the cache-keying path); it must equal ``_shard_tasks(...)``.
+    """
+    city = city_world.info.name
+    seed = world_config.seed
+    if tasks is None:
+        tasks = _shard_tasks(city_world, isp, config.sampling, seed)
+    if not tasks:
+        return ()
+
+    transport = InProcessTransport(
+        latency=world_config.latency,
+        seed=derive_seed(seed, "curation-transport", city, isp),
+    )
+    transport.register(
+        BatApplication(
+            profile=profile_for(isp),
+            index=AddressIndex(tuple(city_world.book.canonical)),
+            offers=offer_resolver({city: city_world}, isp),
+            seed=seed,
         )
-        tasks: list[tuple[str, NoisyAddress]] = []
-        for geoid in sorted(samples):
-            for entry in samples[geoid]:
-                tasks.append((isp, entry))
-        return tasks
+    )
 
-    def _observation(
-        self, entry: NoisyAddress, result: QueryResult
-    ) -> AddressObservation:
+    n_workers = min(config.n_workers, max(1, len(tasks)))
+    fleet = ContainerFleet(
+        transport,
+        n_workers=n_workers,
+        seed=derive_seed(seed, "curation-fleet", city, isp),
+        proxy_pool=ResidentialProxyPool(
+            n_workers, seed=derive_seed(seed, "curation-pool", city, isp)
+        ),
+        politeness_seconds=config.politeness_seconds,
+    )
+    report = fleet.run(
+        [(isp, entry.street_line, entry.zip_code) for entry in tasks]
+    )
+
+    def observation(entry: NoisyAddress, result: QueryResult) -> AddressObservation:
         return AddressObservation(
             address_id=hash_address_id(
-                entry.truth.street_line(), entry.truth.zip_code, self.config.salt
+                entry.truth.street_line(), entry.truth.zip_code, config.salt
             ),
             city=entry.city,
             block_group=entry.truth.block_group,
@@ -86,6 +175,131 @@ class CurationPipeline:
             elapsed_seconds=result.elapsed_seconds,
         )
 
+    return tuple(
+        observation(entry, result)
+        for entry, result in zip(tasks, report.results)
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-backend entry point
+# ----------------------------------------------------------------------
+
+# Worker-process memo of rebuilt cities: shards of the same city landing in
+# the same process pay the ground-truth rebuild once.
+_CITY_WORLD_MEMO: dict[tuple[WorldConfig, str], CityWorld] = {}
+
+
+@dataclass(frozen=True)
+class _ShardJob:
+    """Self-contained, picklable description of one shard's work."""
+
+    world_config: WorldConfig
+    city: str
+    isp: str
+    config: CurationConfig
+
+
+def _run_shard_job(job: _ShardJob) -> tuple[AddressObservation, ...]:
+    """Top-level shard runner (picklable; used by every backend).
+
+    In a worker process the city's ground truth is rebuilt from the world
+    configuration — :func:`repro.world.build_city_world` is a pure function
+    of ``(config, city)``, so the rebuild is indistinguishable from the
+    parent's copy and the observations come out byte-identical.
+    """
+    memo_key = (job.world_config, job.city)
+    city_world = _CITY_WORLD_MEMO.get(memo_key)
+    if city_world is None:
+        city_world = build_city_world(job.world_config, job.city)
+        _CITY_WORLD_MEMO[memo_key] = city_world
+    return _shard_observations(job.world_config, city_world, job.isp, job.config)
+
+
+@dataclass(frozen=True)
+class _ShardPlan:
+    """One shard as scheduled by a concrete ``curate()`` call."""
+
+    city: str
+    isp: str
+    city_world: CityWorld
+    cache_keys: tuple[str, ...]
+    # The shard's sampled tasks, when the cache-keying path already drew
+    # them (reused by the serial/thread execution path; None otherwise).
+    tasks: tuple[NoisyAddress, ...] | None = None
+
+
+class CurationPipeline:
+    """Runs the full data-collection methodology against a world.
+
+    Args:
+        world: The simulated measurement environment.
+        config: Pipeline knobs (sampling, fleet size, politeness, salt).
+        executor: Execution backend for (city, ISP) shards — an
+            :class:`~repro.exec.Executor`, a backend name (``"serial"``,
+            ``"thread"``, ``"process"``), or None for serial.  Every
+            backend produces the same dataset, byte for byte.
+        cache: Optional :class:`~repro.exec.QueryResultCache`; shards whose
+            content-addressed keys are fully present are served from it
+            without replaying any queries.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        config: CurationConfig | None = None,
+        executor: Executor | str | None = None,
+        cache: QueryResultCache | None = None,
+    ) -> None:
+        self._world = world
+        self.config = config or CurationConfig()
+        self.executor = resolve_executor(executor)
+        self.cache = cache
+        self.last_run: CurationRunReport | None = None
+
+    # ------------------------------------------------------------------
+    # Cache keying
+    # ------------------------------------------------------------------
+    def _context_digest(self) -> str:
+        """Digest of every input (beyond isp/address/seed/scale) that shapes
+        a query outcome; part of each cache key, so any configuration change
+        silently invalidates old entries."""
+        config = self._world.config
+        parts = (
+            repr(self.config.sampling),
+            str(self.config.n_workers),
+            repr(self.config.politeness_seconds),
+            self.config.salt,
+            repr(config.latency),
+            repr(config.addresses),
+            repr(config.deployment),
+            repr(config.offers),
+        )
+        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+    def _shard_cache_keys(
+        self, city: str, isp: str, tasks: list[NoisyAddress], digest: str
+    ) -> tuple[str, ...]:
+        # Keys address the *canonical* (truth) address: distinct feed
+        # entries can share a noisy public spelling, but never a canonical
+        # one, and for a fixed (seed, scale, config) the noisy spelling —
+        # hence the query outcome — is a pure function of the truth.
+        config = self._world.config
+        return tuple(
+            address_cache_key(
+                isp,
+                entry.truth.street_line(),
+                entry.truth.zip_code,
+                config.seed,
+                config.scale,
+                context_digest=f"{digest}|{city}",
+            )
+            for entry in tasks
+        )
+
+    # ------------------------------------------------------------------
+    # Curation
+    # ------------------------------------------------------------------
     def curate(
         self,
         cities: tuple[str, ...] | None = None,
@@ -94,33 +308,100 @@ class CurationPipeline:
         """Collect the dataset for the requested cities and ISPs.
 
         Defaults to every city in the world and every major ISP active in
-        each city (the paper's full methodology).
+        each city (the paper's full methodology).  Shards are merged in
+        (city, ISP) schedule order, so the record order — like the records
+        themselves — is independent of the execution backend.
         """
         target_cities = cities if cities is not None else tuple(self._world.cities)
-        all_tasks: list[tuple[str, NoisyAddress]] = []
+        shards: list[tuple[str, str]] = []
         for city in target_cities:
             city_world = self._world.city(city)
-            city_isps = tuple(
-                isp
-                for isp in city_world.info.isps
-                if isps is None or isp in isps
-            )
-            for isp in city_isps:
-                all_tasks.extend(self._tasks_for(city, isp))
-        if not all_tasks:
+            for isp in city_world.info.isps:
+                if isps is None or isp in isps:
+                    shards.append((city, isp))
+        if not shards:
             raise DatasetError("no (city, ISP) pairs matched the curation request")
 
-        fleet = ContainerFleet(
-            self._world.transport,
-            n_workers=min(self.config.n_workers, max(1, len(all_tasks))),
-            seed=derive_seed(self._world.seed, "curation-fleet"),
-            politeness_seconds=self.config.politeness_seconds,
+        digest = self._context_digest() if self.cache is not None else ""
+        plans: list[_ShardPlan] = []
+        for city, isp in shards:
+            city_world = self._world.city(city)
+            keys: tuple[str, ...] = ()
+            tasks: tuple[NoisyAddress, ...] | None = None
+            if self.cache is not None:
+                tasks = tuple(
+                    _shard_tasks(
+                        city_world, isp, self.config.sampling,
+                        self._world.config.seed,
+                    )
+                )
+                keys = self._shard_cache_keys(city, isp, list(tasks), digest)
+            plans.append(_ShardPlan(city, isp, city_world, keys, tasks))
+
+        # Serve whole shards from the cache; replay the rest.
+        results: dict[int, tuple[AddressObservation, ...]] = {}
+        pending: list[tuple[int, _ShardPlan]] = []
+        for index, plan in enumerate(plans):
+            cached = (
+                self.cache.lookup_shard(plan.cache_keys)
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, plan))
+
+        if pending:
+            executed = self._execute([plan for _, plan in pending])
+            for (index, plan), observations in zip(pending, executed):
+                results[index] = observations
+                if self.cache is not None:
+                    self.cache.store_shard(plan.cache_keys, observations)
+
+        self.last_run = CurationRunReport(
+            shards=tuple(shards),
+            cached_shards=len(plans) - len(pending),
+            executed_shards=len(pending),
+            backend=self.executor.name,
         )
-        report = fleet.run(
-            [(isp, entry.street_line, entry.zip_code) for isp, entry in all_tasks]
+        merged: list[AddressObservation] = []
+        for index in range(len(plans)):
+            merged.extend(results[index])
+        return BroadbandDataset(tuple(merged))
+
+    def _execute(
+        self, plans: list[_ShardPlan]
+    ) -> list[tuple[AddressObservation, ...]]:
+        """Dispatch shard work through the configured backend."""
+        world_config = self._world.config
+        if self.executor.name == "process":
+            jobs = [
+                _ShardJob(world_config, plan.city, plan.isp, self.config)
+                for plan in plans
+            ]
+            # Pre-seed the city memo with the parent's already-built
+            # cities: fork-started workers inherit it and skip the
+            # rebuild entirely (spawn-started workers rebuild, which is
+            # byte-equivalent).
+            seeded: list[tuple[WorldConfig, str]] = []
+            for plan in plans:
+                memo_key = (world_config, plan.city)
+                if memo_key not in _CITY_WORLD_MEMO:
+                    _CITY_WORLD_MEMO[memo_key] = plan.city_world
+                    seeded.append(memo_key)
+            try:
+                return self.executor.map(_run_shard_job, jobs)
+            finally:
+                for memo_key in seeded:
+                    _CITY_WORLD_MEMO.pop(memo_key, None)
+        return self.executor.map(
+            lambda plan: _shard_observations(
+                world_config,
+                plan.city_world,
+                plan.isp,
+                self.config,
+                tasks=list(plan.tasks) if plan.tasks is not None else None,
+            ),
+            plans,
         )
-        observations = tuple(
-            self._observation(entry, result)
-            for (_, entry), result in zip(all_tasks, report.results)
-        )
-        return BroadbandDataset(observations)

@@ -1,0 +1,39 @@
+"""Pluggable parallel execution: backends, registry, and the result cache.
+
+The curation pipeline and the container fleet dispatch independent units
+of work (city/ISP shards, per-worker query batches) through an
+:class:`~repro.exec.base.Executor`.  Three interchangeable backends exist
+— serial, thread pool, process pool — and because every dispatched unit
+is a pure function of configuration and derived seeds, all three produce
+byte-identical datasets; only wall-clock time differs.
+
+:class:`~repro.exec.cache.QueryResultCache` complements the executors: it
+remembers finished shard results under content-addressed keys so repeated
+curation runs over unchanged worlds skip the replay entirely.
+"""
+
+from .base import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    default_backend,
+    default_max_workers,
+    resolve_executor,
+)
+from .cache import CacheStats, QueryResultCache, address_cache_key
+from .processes import ProcessPoolBackend
+from .serial import SerialExecutor
+from .threads import ThreadPoolBackend
+
+__all__ = [
+    "Executor",
+    "EXECUTOR_BACKENDS",
+    "default_backend",
+    "default_max_workers",
+    "resolve_executor",
+    "SerialExecutor",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "CacheStats",
+    "QueryResultCache",
+    "address_cache_key",
+]

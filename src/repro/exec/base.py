@@ -1,0 +1,127 @@
+"""The executor protocol and backend registry.
+
+An :class:`Executor` maps a function over a list of work items and returns
+the results **in item order** — the one contract every consumer in the
+library relies on for determinism.  Three interchangeable backends
+implement it:
+
+* :class:`~repro.exec.serial.SerialExecutor` — a plain loop in the calling
+  thread (the reference implementation; also the fastest choice for
+  CPU-bound virtual-time simulation on a single core);
+* :class:`~repro.exec.threads.ThreadPoolBackend` — a
+  :class:`concurrent.futures.ThreadPoolExecutor`; pays off when work items
+  block on real I/O (the TCP transport path);
+* :class:`~repro.exec.processes.ProcessPoolBackend` — a
+  :class:`concurrent.futures.ProcessPoolExecutor`; sidesteps the GIL for
+  CPU-bound work on multi-core hosts.  Work functions and items must be
+  picklable.
+
+Because the parallel unit everywhere in the library is a *deterministic
+shard* (a pure function of configuration and derived seed), the choice of
+backend never changes results — only wall-clock time.  The determinism
+parity tests in ``tests/test_exec_backends.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Executor",
+    "EXECUTOR_BACKENDS",
+    "resolve_executor",
+    "default_backend",
+    "default_max_workers",
+]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def default_backend() -> str:
+    """Backend name from the ``REPRO_EXEC_BACKEND`` environment variable.
+
+    Serial when unset.  Both CLIs fall back to this when ``--backend`` is
+    not given, as does the experiment context.
+    """
+    return os.environ.get("REPRO_EXEC_BACKEND", "serial")
+
+
+def default_max_workers() -> int:
+    """Default pool width: the host's CPU count, floored at two.
+
+    Even on a single-core host a width of two lets I/O-bound work overlap,
+    which is the only parallelism that pays there.
+    """
+    return max(2, os.cpu_count() or 1)
+
+
+class Executor(ABC):
+    """Order-preserving batch executor over independent work items."""
+
+    #: Registry key of the backend (``"serial"``, ``"thread"``, ``"process"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(
+        self,
+        fn: Callable[[_ItemT], _ResultT],
+        items: Sequence[_ItemT],
+    ) -> list[_ResultT]:
+        """Apply ``fn`` to every item and return results in item order.
+
+        Exceptions raised by ``fn`` propagate to the caller (the first one
+        encountered in item order); partial results are discarded.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def _backend_factories() -> dict[str, Callable[..., Executor]]:
+    # Imported lazily so ``base`` has no import-time dependency on the
+    # concrete backends (which import ``base`` themselves).
+    from .processes import ProcessPoolBackend
+    from .serial import SerialExecutor
+    from .threads import ThreadPoolBackend
+
+    return {
+        "serial": SerialExecutor,
+        "thread": ThreadPoolBackend,
+        "process": ProcessPoolBackend,
+    }
+
+
+#: Names accepted by :func:`resolve_executor` (and the ``--backend`` CLI
+#: flags / ``REPRO_EXEC_BACKEND`` environment variable).
+EXECUTOR_BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+def resolve_executor(
+    spec: "Executor | str | None",
+    max_workers: int | None = None,
+) -> Executor:
+    """Turn a backend name (or an executor instance) into an executor.
+
+    ``None`` resolves to the serial backend.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if spec is None:
+        spec = "serial"
+    if isinstance(spec, Executor):
+        return spec
+    factories = _backend_factories()
+    try:
+        factory = factories[spec]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor backend {spec!r} "
+            f"(available: {', '.join(EXECUTOR_BACKENDS)})"
+        ) from None
+    if spec == "serial":
+        return factory()
+    return factory(max_workers=max_workers)

@@ -1,0 +1,158 @@
+"""Content-addressed query-result cache for the curation pipeline.
+
+Curation cost is dominated by replaying BQT queries, and most callers —
+the test suite, ablation sweeps, the example scripts — re-curate worlds
+that have not changed.  The cache remembers finished observations keyed by
+the content that determines them:
+
+``(isp, normalized address, world seed, scale)`` plus a digest of every
+other input that shapes the result (sampling parameters, fleet size,
+politeness, salt, latency model, ablation knobs).  Any change to any of
+those inputs changes the key, so stale entries are never returned — there
+is no explicit invalidation API because invalidation is the key.
+
+Reuse is **shard-atomic**: a (city, ISP) shard is served from cache only
+when *every* address in the shard is present.  Within a shard, query
+outcomes share transport and server state (RTT draws, render-delay draws,
+rate-limit windows), so replaying a partial shard against fresh state
+would produce different timings than the cached remainder — mixing the two
+would break the byte-identical-replay guarantee.  All-or-nothing reuse
+keeps every curated dataset exactly equal to a from-scratch run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..addresses.normalize import canonical_key
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # runtime-lazy: repro.dataset imports this module back
+    from ..dataset.records import AddressObservation
+
+__all__ = ["CacheStats", "QueryResultCache", "address_cache_key"]
+
+
+def address_cache_key(
+    isp: str,
+    street_line: str,
+    zip_code: str,
+    world_seed: int,
+    scale: float,
+    context_digest: str = "",
+) -> str:
+    """Content-addressed key for one (ISP, address) query outcome.
+
+    The address is normalized first (case, whitespace, suffix
+    abbreviations), so the same physical address always maps to the same
+    key regardless of the feed's noisy spelling of the moment.
+
+    >>> a = address_cache_key("cox", "12 Oak Avenue", "70112", 42, 0.05)
+    >>> a == address_cache_key("cox", "12 OAK AVE", "70112", 42, 0.05)
+    True
+    >>> a != address_cache_key("cox", "12 Oak Avenue", "70112", 43, 0.05)
+    True
+    """
+    hasher = hashlib.sha256()
+    for part in (
+        isp,
+        canonical_key(street_line, zip_code),
+        str(int(world_seed)),
+        repr(float(scale)),
+        context_digest,
+    ):
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss counters (address-level granularity)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class QueryResultCache:
+    """In-memory store of finished address observations.
+
+    One instance can back many pipelines (the experiment context shares a
+    process-wide cache across scales and seeds — distinct configurations
+    occupy distinct keys).  Thread-safe: shard lookups and stores take an
+    internal lock, so a thread-backed pipeline can share an instance.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, AddressObservation] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> AddressObservation | None:
+        """Single-key peek (does not touch the hit/miss counters)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def lookup_shard(
+        self, keys: Sequence[str]
+    ) -> tuple[AddressObservation, ...] | None:
+        """Return the full shard's observations, or None on any miss.
+
+        Accounting is per address: a served shard counts ``len(keys)``
+        hits; a miss counts ``len(keys)`` misses (the whole shard will be
+        re-queried).  An empty key set is never a hit — a zero-task shard
+        goes to the executor, not the cache, so the counters stay honest.
+        """
+        if not keys:
+            return None
+        with self._lock:
+            if all(key in self._entries for key in keys):
+                self.stats.hits += len(keys)
+                self.stats.shard_hits += 1
+                return tuple(self._entries[key] for key in keys)
+            self.stats.misses += len(keys)
+            self.stats.shard_misses += 1
+            return None
+
+    def store_shard(
+        self,
+        keys: Sequence[str],
+        observations: Iterable[AddressObservation],
+    ) -> None:
+        """Record a freshly executed shard, one entry per address."""
+        observations = tuple(observations)
+        if len(keys) != len(observations):
+            raise ConfigurationError(
+                f"{len(keys)} keys for {len(observations)} observations"
+            )
+        with self._lock:
+            for key, observation in zip(keys, observations):
+                self._entries[key] = observation
+                self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,30 @@
+"""The serial reference backend: a plain loop in the calling thread."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from .base import Executor
+
+__all__ = ["SerialExecutor"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+class SerialExecutor(Executor):
+    """Runs every work item in submission order on the calling thread.
+
+    This is the reference implementation the parallel backends are tested
+    against: whatever dataset a parallel backend produces must be
+    byte-identical to the serial one.
+    """
+
+    name = "serial"
+
+    def map(
+        self,
+        fn: Callable[[_ItemT], _ResultT],
+        items: Sequence[_ItemT],
+    ) -> list[_ResultT]:
+        return [fn(item) for item in items]

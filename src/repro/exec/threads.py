@@ -1,0 +1,52 @@
+"""Thread-pool backend.
+
+Threads share the interpreter, so this backend only pays off when work
+items spend their time blocked on real I/O — exactly what fleet workers do
+on the TCP transport path, where the server honors render delays with real
+(scaled) sleeps.  For the in-process virtual-time transport the work is
+pure CPU and the GIL serializes it; use the process backend (multi-core
+hosts) or the serial backend there.
+
+Shard work functions only touch per-shard state (fresh transport, fresh
+BAT application, fresh proxy pool) plus read-only ground-truth objects, so
+no locking is needed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+from .base import Executor, default_max_workers
+
+__all__ = ["ThreadPoolBackend"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+class ThreadPoolBackend(Executor):
+    """Order-preserving map over a :class:`ThreadPoolExecutor`."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.max_workers = max_workers or default_max_workers()
+
+    def map(
+        self,
+        fn: Callable[[_ItemT], _ResultT],
+        items: Sequence[_ItemT],
+    ) -> list[_ResultT]:
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            # Materialize inside the context manager so worker exceptions
+            # surface here (in item order) rather than at shutdown.
+            return list(pool.map(fn, items))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadPoolBackend(max_workers={self.max_workers})"

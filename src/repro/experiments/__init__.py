@@ -14,7 +14,13 @@ from . import (
     table3,
 )
 from .base import ExperimentResult, cdf_rows, render_table
-from .context import ExperimentContext, default_scale, get_context
+from .context import (
+    ExperimentContext,
+    default_backend,
+    default_scale,
+    get_context,
+    shared_result_cache,
+)
 
 ALL_EXPERIMENTS = {
     module.EXPERIMENT_ID: module.run
@@ -46,6 +52,8 @@ __all__ = [
     "cdf_rows",
     "render_table",
     "ExperimentContext",
+    "default_backend",
     "default_scale",
     "get_context",
+    "shared_result_cache",
 ]

@@ -14,6 +14,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..exec.base import EXECUTOR_BACKENDS
 from . import ALL_EXPERIMENTS, get_context
 
 
@@ -29,6 +30,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-block-group sample floor (paper: 30)")
     parser.add_argument("--cities", nargs="*", default=None,
                         help="restrict to specific cities")
+    parser.add_argument("--backend", default=None,
+                        choices=EXECUTOR_BACKENDS,
+                        help="curation execution backend (default: "
+                             "REPRO_EXEC_BACKEND or serial; all backends "
+                             "produce the identical dataset)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids to run (default: all)")
     parser.add_argument("--output", type=Path,
@@ -49,6 +55,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         min_samples=args.min_samples,
         cities=tuple(args.cities) if args.cities else None,
+        backend=args.backend,
     )
     print(f"context ready in {time.time() - started:.0f}s: "
           f"{len(context.dataset)} observations\n")

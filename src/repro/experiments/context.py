@@ -17,13 +17,31 @@ from functools import lru_cache
 from ..dataset.container import BroadbandDataset
 from ..dataset.curation import CurationConfig, CurationPipeline
 from ..dataset.sampling import SamplingConfig
+from ..exec.base import default_backend
+from ..exec.cache import QueryResultCache
 from ..world import World, WorldConfig, build_world
 
-__all__ = ["ExperimentContext", "get_context", "default_scale"]
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "default_scale",
+    "default_backend",
+    "shared_result_cache",
+]
 
 _DEFAULT_SCALE = 0.12
 _DEFAULT_MIN_SAMPLES = 10
 _DEFAULT_SEED = 42
+
+# One query-result cache for the whole process: repeated context builds
+# (ablation sweeps, example scripts, --only reruns) skip re-curating any
+# (city, ISP) shard whose content-addressed keys are already known.
+_SHARED_CACHE = QueryResultCache()
+
+
+def shared_result_cache() -> QueryResultCache:
+    """The process-wide curation result cache used by experiment contexts."""
+    return _SHARED_CACHE
 
 
 def default_scale() -> float:
@@ -60,6 +78,7 @@ def get_context(
     seed: int = _DEFAULT_SEED,
     min_samples: int | None = None,
     cities: tuple[str, ...] | None = None,
+    backend: str | None = None,
 ) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
 
@@ -69,13 +88,19 @@ def get_context(
         min_samples: Per-block-group sample floor (None = env default;
             the paper uses 30 — benches default lower to bound runtime).
         cities: Restrict to a subset of cities (tests); None = all thirty.
+        backend: Curation execution backend name (``"serial"``,
+            ``"thread"``, ``"process"``; None = ``REPRO_EXEC_BACKEND`` or
+            serial).  Every backend yields the identical dataset.
     """
     scale = scale if scale is not None else default_scale()
     min_samples = min_samples if min_samples is not None else _default_min_samples()
+    backend = backend if backend is not None else default_backend()
     world = build_world(WorldConfig(seed=seed, scale=scale, cities=cities))
     curation = CurationConfig(
         sampling=SamplingConfig(fraction=0.10, min_samples=min_samples),
         n_workers=50,
     )
-    dataset = CurationPipeline(world, curation).curate()
+    dataset = CurationPipeline(
+        world, curation, executor=backend, cache=_SHARED_CACHE
+    ).curate()
     return ExperimentContext(world=world, dataset=dataset, curation=curation)

@@ -140,10 +140,14 @@ class TcpBatServer:
                 # The client's residential exit IP travels in a header on
                 # the TCP path (all connections originate from localhost).
                 client_ip = request.header("X-Forwarded-For") or peer[0]
+                # BatApplication instances are single-threaded objects
+                # (session table, counters, delay RNG), so the handle()
+                # call is serialized; the render sleep below stays outside
+                # the lock, which is where parallel clients overlap.
                 with self._clock_lock:
                     self._virtual_now += 1.0
                     now = self._virtual_now
-                response = self._app.handle(request, client_ip, now)
+                    response = self._app.handle(request, client_ip, now)
                 render_value = response.header(RENDER_HEADER)
                 response.headers.pop(RENDER_HEADER, None)
                 if render_value and self._time_scale > 0:

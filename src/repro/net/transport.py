@@ -19,6 +19,7 @@ client — the client only ever observes elapsed time, like a real browser.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Protocol
 
@@ -94,6 +95,9 @@ class InProcessTransport(Transport):
         self._server_capacity = max(1, server_capacity)
         self.concurrency = 1  # set by the orchestrator for load modeling
         self._request_counts: dict[str, int] = {}
+        # The RTT generator, request counters and application objects are
+        # shared mutable state; a thread-batched fleet sends concurrently.
+        self._lock = threading.Lock()
 
     def register(self, app: BatServerApp) -> None:
         """Attach an application at its hostname."""
@@ -126,11 +130,11 @@ class InProcessTransport(Transport):
             app = self._apps[host]
         except KeyError:
             raise TransportError(f"no route to host {host!r}") from None
-        self._request_counts[host] = self._request_counts.get(host, 0) + 1
-
-        rtt = self._latency.sample_rtt(self._rng)
-        clock.sleep(rtt / 2.0)  # request propagation
-        response = app.handle(request, client_ip, clock.now())
+        with self._lock:
+            self._request_counts[host] = self._request_counts.get(host, 0) + 1
+            rtt = self._latency.sample_rtt(self._rng)
+            clock.sleep(rtt / 2.0)  # request propagation
+            response = app.handle(request, client_ip, clock.now())
         render_value = response.header(RENDER_HEADER)
         render_seconds = float(render_value) if render_value else 0.0
         response.headers.pop(RENDER_HEADER, None)

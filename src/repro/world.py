@@ -48,7 +48,14 @@ from .net.latency import LatencyModel
 from .net.transport import InProcessTransport
 from .seeding import derive_seed
 
-__all__ = ["WorldConfig", "CityWorld", "World", "build_world"]
+__all__ = [
+    "WorldConfig",
+    "CityWorld",
+    "World",
+    "build_world",
+    "build_city_world",
+    "offer_resolver",
+]
 
 
 @dataclass(frozen=True)
@@ -157,7 +164,28 @@ def _build_city(config: WorldConfig, info: CityInfo) -> CityWorld:
     )
 
 
-def _offer_resolver(world_cities: dict[str, CityWorld], isp_name: str):
+def build_city_world(config: WorldConfig, city: str) -> CityWorld:
+    """Build one city's ground truth in isolation.
+
+    Construction is a pure function of ``(config, city)`` — the same city
+    built inside :func:`build_world` or here is identical, regardless of
+    which other cities the configuration names.  The process-pool curation
+    backend relies on this to rebuild a shard's city inside a worker
+    process instead of pickling live world objects.
+    """
+    return _build_city(config, get_city(city))
+
+
+def offer_resolver(world_cities: dict[str, CityWorld], isp_name: str):
+    """BAT-side offer lookup over a set of cities for one ISP.
+
+    Returns the resolver a :class:`~repro.bat.app.BatApplication` consumes:
+    an empty tuple for any address outside the given cities or the ISP's
+    deployments (the "no service" page).  Used both by :func:`build_world`
+    (all of an ISP's cities) and by the curation pipeline's per-shard BAT
+    instances (a single city).
+    """
+
     def resolve(address: Address) -> tuple[Plan, ...]:
         city_world = world_cities.get(address.city)
         if city_world is None or isp_name not in city_world.deployments:
@@ -185,7 +213,7 @@ def build_world(config: WorldConfig | None = None) -> World:
         app = BatApplication(
             profile=profile_for(isp_name),
             index=AddressIndex(tuple(canonical)),
-            offers=_offer_resolver(cities, isp_name),
+            offers=offer_resolver(cities, isp_name),
             seed=config.seed,
         )
         transport.register(app)

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.dataset",
     "repro.errors",
+    "repro.exec",
     "repro.experiments",
     "repro.geo",
     "repro.isp",
@@ -26,6 +27,7 @@ PUBLIC_MODULES = [
 
 DOCTEST_MODULES = [
     "repro.seeding",
+    "repro.exec.cache",
     "repro.addresses.normalize",
     "repro.addresses.model",
     "repro.core.matching",

@@ -1,0 +1,194 @@
+"""The content-addressed query-result cache: accounting, invalidation-by-
+key, shard atomicity, and key injectivity."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.dataset import CurationConfig, CurationPipeline, SamplingConfig
+from repro.errors import ConfigurationError
+from repro.exec import QueryResultCache, address_cache_key
+from repro.world import WorldConfig, build_world
+
+SMALL_CONFIG = CurationConfig(
+    sampling=SamplingConfig(fraction=0.10, min_samples=5), n_workers=10
+)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """A one-city world small enough to curate several times per test."""
+    return build_world(WorldConfig(seed=5, scale=0.05, cities=("wichita",)))
+
+
+def _pipeline(world, cache):
+    return CurationPipeline(world, SMALL_CONFIG, cache=cache)
+
+
+class TestAccounting:
+    def test_cold_run_misses_then_warm_run_hits(self, small_world):
+        cache = QueryResultCache()
+        pipeline = _pipeline(small_world, cache)
+        first = pipeline.curate()
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == len(first)
+        assert cache.stats.stores == len(first)
+        assert pipeline.last_run.cached_shards == 0
+
+        second = pipeline.curate()
+        assert second.observations == first.observations
+        assert cache.stats.hits == len(first)
+        assert cache.stats.misses == len(first)
+        assert pipeline.last_run.cached_shards == pipeline.last_run.total_shards
+        assert pipeline.last_run.executed_shards == 0
+
+    def test_hit_rate(self):
+        cache = QueryResultCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.stats.hits = 3
+        cache.stats.misses = 1
+        assert cache.stats.hit_rate == pytest.approx(0.75)
+
+    def test_cache_shared_across_pipelines(self, small_world):
+        cache = QueryResultCache()
+        _pipeline(small_world, cache).curate()
+        other = _pipeline(small_world, cache)
+        other.curate()
+        assert other.last_run.cached_shards == other.last_run.total_shards
+
+    def test_get_does_not_touch_counters(self, small_world):
+        cache = QueryResultCache()
+        _pipeline(small_world, cache).curate()
+        hits, misses = cache.stats.hits, cache.stats.misses
+        assert cache.get("no-such-key") is None
+        assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+
+
+class TestInvalidation:
+    """Key = content: changing any curation-relevant input must miss."""
+
+    def test_seed_change_misses(self, small_world):
+        cache = QueryResultCache()
+        _pipeline(small_world, cache).curate()
+        reseeded = build_world(
+            WorldConfig(seed=6, scale=0.05, cities=("wichita",))
+        )
+        pipeline = _pipeline(reseeded, cache)
+        pipeline.curate()
+        assert pipeline.last_run.cached_shards == 0
+        assert pipeline.last_run.executed_shards == pipeline.last_run.total_shards
+
+    def test_scale_change_misses(self, small_world):
+        cache = QueryResultCache()
+        _pipeline(small_world, cache).curate()
+        rescaled = build_world(
+            WorldConfig(seed=5, scale=0.06, cities=("wichita",))
+        )
+        pipeline = _pipeline(rescaled, cache)
+        pipeline.curate()
+        assert pipeline.last_run.cached_shards == 0
+
+    def test_sampling_change_misses(self, small_world):
+        cache = QueryResultCache()
+        _pipeline(small_world, cache).curate()
+        pipeline = CurationPipeline(
+            small_world,
+            CurationConfig(
+                sampling=SamplingConfig(fraction=0.10, min_samples=6),
+                n_workers=10,
+            ),
+            cache=cache,
+        )
+        pipeline.curate()
+        assert pipeline.last_run.cached_shards == 0
+
+    def test_isp_subset_still_hits(self, small_world):
+        """Shards are the cache unit: a narrower request reuses its shard."""
+        cache = QueryResultCache()
+        _pipeline(small_world, cache).curate()
+        pipeline = _pipeline(small_world, cache)
+        pipeline.curate(isps=("cox",))
+        assert pipeline.last_run.total_shards == 1
+        assert pipeline.last_run.cached_shards == 1
+
+
+class TestShardAtomicity:
+    def test_partial_shard_is_a_miss_and_refills(self, small_world):
+        cache = QueryResultCache()
+        pipeline = _pipeline(small_world, cache)
+        first = pipeline.curate()
+
+        # Evict everything: every shard is now partial (empty), so the next
+        # run must re-execute and produce identical bytes.
+        cache.clear()
+        assert len(cache) == 0
+        second = pipeline.curate()
+        assert pipeline.last_run.cached_shards == 0
+        assert second.observations == first.observations
+
+    def test_lookup_shard_all_or_nothing(self):
+        cache = QueryResultCache()
+        cache.store_shard(("a", "b"), ("obs-a", "obs-b"))
+        assert cache.lookup_shard(("a", "b")) == ("obs-a", "obs-b")
+        assert cache.lookup_shard(("a", "b", "c")) is None
+        assert cache.stats.shard_hits == 1
+        assert cache.stats.shard_misses == 1
+
+    def test_store_shard_length_mismatch_raises(self):
+        cache = QueryResultCache()
+        with pytest.raises(ConfigurationError):
+            cache.store_shard(("k1", "k2"), ("only-one",))
+
+
+class TestKeyInjectivity:
+    def test_keys_injective_over_feed(self, small_world):
+        """Property: distinct (isp, canonical address) pairs never collide.
+
+        Exercised over every canonical address of the world crossed with
+        both active ISPs — thousands of near-neighbor address strings.
+        """
+        book = small_world.city("wichita").book
+        keys = set()
+        pairs = 0
+        for isp in ("att", "cox"):
+            for address in book.canonical:
+                keys.add(
+                    address_cache_key(
+                        isp, address.street_line(), address.zip_code, 5, 0.05
+                    )
+                )
+                pairs += 1
+        assert len(keys) == pairs
+
+    def test_keys_distinguish_every_component(self):
+        base = dict(
+            isp="cox", street_line="12 Oak Ave", zip_code="70112",
+            world_seed=42, scale=0.05, context_digest="d",
+        )
+        variants = [
+            dict(base, isp="att"),
+            dict(base, street_line="13 Oak Ave"),
+            dict(base, zip_code="70113"),
+            dict(base, world_seed=43),
+            dict(base, scale=0.06),
+            dict(base, context_digest="e"),
+        ]
+        keys = [address_cache_key(**base)] + [
+            address_cache_key(**v) for v in variants
+        ]
+        for a, b in itertools.combinations(keys, 2):
+            assert a != b
+
+    def test_separator_injection_does_not_collide(self):
+        """Concatenation attacks on the key material must not alias."""
+        a = address_cache_key("cox", "12 Oak", "70112", 42, 0.05, "x")
+        b = address_cache_key("cox", "12 Oak", "70112", 42, 0.05, "x\x1f")
+        c = address_cache_key("cox\x1f12", "Oak", "70112", 42, 0.05, "x")
+        assert len({a, b, c}) == 3
+
+    def test_normalization_folds_spelling_variants(self):
+        assert address_cache_key(
+            "cox", "12 Oak Avenue", "70112", 42, 0.05
+        ) == address_cache_key("cox", "12 OAK AVE", "70112", 42, 0.05)
