@@ -5,6 +5,7 @@ from .curation import (
     CurationConfig,
     CurationPipeline,
     CurationRunReport,
+    IspOverride,
     hash_address_id,
 )
 from .io import read_dataset_csv, write_dataset_csv
@@ -17,6 +18,7 @@ __all__ = [
     "CurationConfig",
     "CurationPipeline",
     "CurationRunReport",
+    "IspOverride",
     "hash_address_id",
     "read_dataset_csv",
     "write_dataset_csv",

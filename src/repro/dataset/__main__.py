@@ -15,6 +15,7 @@ import time
 from pathlib import Path
 
 from ..exec.base import EXECUTOR_BACKENDS, default_backend
+from ..exec.store import build_result_cache
 from ..world import WorldConfig, build_world
 from .curation import CurationConfig, CurationPipeline
 from .io import write_dataset_csv
@@ -43,6 +44,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="shard execution backend (default: "
                              "REPRO_EXEC_BACKEND or serial; all backends "
                              "produce the identical dataset)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="on-disk query-result cache root (default: "
+                             "REPRO_CACHE_DIR; unset = memory-only cache)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="LRU-evict the disk cache down to this many "
+                             "bytes (default: REPRO_CACHE_MAX_BYTES or "
+                             "unbounded)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the query-result cache entirely "
+                             "(every shard is replayed)")
     args = parser.parse_args(argv)
 
     started = time.time()
@@ -56,6 +67,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"world built in {time.time() - started:.0f}s "
           f"({len(world.cities)} cities)", flush=True)
 
+    cache = build_result_cache(
+        cache_dir=args.cache_dir,
+        max_bytes=args.cache_max_bytes,
+        enabled=not args.no_cache,
+    )
     pipeline = CurationPipeline(
         world,
         CurationConfig(
@@ -65,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
             n_workers=args.workers,
         ),
         executor=args.backend if args.backend is not None else default_backend(),
+        cache=cache,
     )
     started = time.time()
     dataset = pipeline.curate(
@@ -74,6 +91,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"curated {counts['observations']} observations "
           f"({counts['addresses']} addresses, {counts['block_groups']} block "
           f"groups) in {time.time() - started:.0f}s")
+    run = pipeline.last_run
+    print(f"cache: replayed {run.replayed_queries} queries; "
+          f"{run.cached_shards}/{run.total_shards} shards cached "
+          f"({run.disk_shards} from disk)")
 
     rows = write_dataset_csv(dataset, args.out)
     print(f"wrote {rows} rows to {args.out}")

@@ -10,6 +10,7 @@ median of its addresses' best cvs.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -77,6 +78,36 @@ class BroadbandDataset:
 
     def merged_with(self, other: "BroadbandDataset") -> "BroadbandDataset":
         return BroadbandDataset(self._observations + other.observations)
+
+    def content_digest(self) -> str:
+        """SHA-256 over a canonical serialization of every observation.
+
+        Two datasets have equal digests iff their observation sequences
+        are equal — field for field, including plan lists and float
+        timings (serialized via ``repr``, which round-trips exactly).
+        The golden-digest regression suite pins these values for the seed
+        configurations, so any drift in the curation pipeline — across
+        backends, cache tiers, or incremental re-runs — is caught as a
+        digest mismatch rather than a subtle analysis shift.
+        """
+        hasher = hashlib.sha256()
+        for obs in self._observations:
+            row = (
+                obs.address_id,
+                obs.city,
+                obs.block_group,
+                obs.isp,
+                obs.status,
+                repr(obs.elapsed_seconds),
+                ";".join(
+                    f"{p.name}|{p.download_mbps!r}|{p.upload_mbps!r}"
+                    f"|{p.monthly_price!r}"
+                    for p in obs.plans
+                ),
+            )
+            hasher.update("\x1f".join(row).encode("utf-8"))
+            hasher.update(b"\x1e")
+        return hasher.hexdigest()
 
     # ------------------------------------------------------------------
     # Block-group aggregation

@@ -22,7 +22,7 @@ known.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..addresses.database import AddressIndex
 from ..addresses.noise import NoisyAddress
@@ -33,6 +33,7 @@ from ..core.workflow import QueryResult
 from ..errors import DatasetError
 from ..exec.base import Executor, resolve_executor
 from ..exec.cache import QueryResultCache, address_cache_key
+from ..exec.store import ShardMeta
 from ..net.proxy import ResidentialProxyPool
 from ..net.transport import InProcessTransport
 from ..seeding import derive_seed
@@ -51,6 +52,7 @@ __all__ = [
     "CurationConfig",
     "CurationPipeline",
     "CurationRunReport",
+    "IspOverride",
     "hash_address_id",
 ]
 
@@ -59,6 +61,20 @@ def hash_address_id(street_line: str, zip_code: str, salt: str) -> str:
     """Privacy-preserving address identifier (salted SHA-256, 16 hex chars)."""
     digest = hashlib.sha256(f"{salt}|{street_line}|{zip_code}".encode()).hexdigest()
     return digest[:16]
+
+
+@dataclass(frozen=True)
+class IspOverride:
+    """Per-ISP deviations from the global curation knobs.
+
+    Fields left None inherit the global :class:`CurationConfig` value.
+    Overrides are part of that ISP's shard digest — and *only* that
+    ISP's — so tweaking one ISP's fleet size or politeness re-curates
+    exactly the shards it affects (incremental re-curation).
+    """
+
+    n_workers: int | None = None
+    politeness_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -72,26 +88,86 @@ class CurationConfig:
             times unaffected.
         politeness_seconds: Per-worker pause between queries.
         salt: Salt for the privacy-preserving address hash.
+        per_isp: ``(isp, IspOverride)`` pairs overriding fleet size or
+            politeness for individual ISPs.  Stored as a tuple so the
+            config stays hashable/picklable; use :meth:`with_isp_override`
+            to derive one.
     """
 
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     n_workers: int = 50
     politeness_seconds: float = 5.0
     salt: str = "bqt-release"
+    per_isp: tuple[tuple[str, IspOverride], ...] = ()
+
+    def with_isp_override(
+        self,
+        isp: str,
+        n_workers: int | None = None,
+        politeness_seconds: float | None = None,
+    ) -> "CurationConfig":
+        """A copy of this config with one ISP's knobs overridden."""
+        kept = tuple(pair for pair in self.per_isp if pair[0] != isp)
+        override = IspOverride(
+            n_workers=n_workers, politeness_seconds=politeness_seconds
+        )
+        return replace(
+            self,
+            per_isp=tuple(
+                sorted(kept + ((isp, override),), key=lambda pair: pair[0])
+            ),
+        )
+
+    def _override_for(self, isp: str) -> IspOverride | None:
+        for name, override in self.per_isp:
+            if name == isp:
+                return override
+        return None
+
+    def effective_n_workers(self, isp: str) -> int:
+        override = self._override_for(isp)
+        if override is not None and override.n_workers is not None:
+            return override.n_workers
+        return self.n_workers
+
+    def effective_politeness(self, isp: str) -> float:
+        override = self._override_for(isp)
+        if override is not None and override.politeness_seconds is not None:
+            return override.politeness_seconds
+        return self.politeness_seconds
 
 
 @dataclass(frozen=True)
 class CurationRunReport:
-    """Accounting for the most recent :meth:`CurationPipeline.curate` call."""
+    """Accounting for the most recent :meth:`CurationPipeline.curate` call.
+
+    Attributes:
+        shards: Every (city, ISP) pair the call covered, in merge order.
+        cached_shards: Shards served from the cache (either tier).
+        disk_shards: The subset of ``cached_shards`` loaded from the
+            on-disk store (zero without a disk tier).
+        executed_shards: Shards dispatched to the executor.
+        replayed_queries: Individual BQT queries actually executed — the
+            cost a cache hit avoids.  Zero means the whole dataset came
+            from cache without replaying a single query.
+        backend: Executor backend name used for the dispatched shards.
+    """
 
     shards: tuple[tuple[str, str], ...]
     cached_shards: int
     executed_shards: int
     backend: str
+    disk_shards: int = 0
+    replayed_queries: int = 0
 
     @property
     def total_shards(self) -> int:
         return len(self.shards)
+
+    @property
+    def memory_shards(self) -> int:
+        """Cached shards served straight from the in-memory tier."""
+        return self.cached_shards - self.disk_shards
 
 
 def _shard_tasks(
@@ -148,7 +224,7 @@ def _shard_observations(
         )
     )
 
-    n_workers = min(config.n_workers, max(1, len(tasks)))
+    n_workers = min(config.effective_n_workers(isp), max(1, len(tasks)))
     fleet = ContainerFleet(
         transport,
         n_workers=n_workers,
@@ -156,7 +232,7 @@ def _shard_observations(
         proxy_pool=ResidentialProxyPool(
             n_workers, seed=derive_seed(seed, "curation-pool", city, isp)
         ),
-        politeness_seconds=config.politeness_seconds,
+        politeness_seconds=config.effective_politeness(isp),
     )
     report = fleet.run(
         [(isp, entry.street_line, entry.zip_code) for entry in tasks]
@@ -227,6 +303,9 @@ class _ShardPlan:
     # The shard's sampled tasks, when the cache-keying path already drew
     # them (reused by the serial/thread execution path; None otherwise).
     tasks: tuple[NoisyAddress, ...] | None = None
+    # Config digest of this shard (incremental re-curation unit); labels
+    # the entry in the disk manifest.
+    config_digest: str = ""
 
 
 class CurationPipeline:
@@ -260,15 +339,16 @@ class CurationPipeline:
     # ------------------------------------------------------------------
     # Cache keying
     # ------------------------------------------------------------------
-    def _context_digest(self) -> str:
-        """Digest of every input (beyond isp/address/seed/scale) that shapes
-        a query outcome; part of each cache key, so any configuration change
-        silently invalidates old entries."""
+    def _base_digest(self) -> str:
+        """Digest of the world-wide inputs every shard shares.
+
+        Per-ISP knobs are deliberately excluded — they enter each shard's
+        digest individually via :meth:`_shard_config_digest`, so a change
+        scoped to one ISP invalidates only that ISP's shards.
+        """
         config = self._world.config
         parts = (
             repr(self.config.sampling),
-            str(self.config.n_workers),
-            repr(self.config.politeness_seconds),
             self.config.salt,
             repr(config.latency),
             repr(config.addresses),
@@ -277,8 +357,26 @@ class CurationPipeline:
         )
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
+    def _shard_config_digest(self, city: str, isp: str, base: str) -> str:
+        """Config digest of one (city, ISP) shard.
+
+        Combines the world-wide base digest with the shard coordinates and
+        the *effective* per-ISP knobs (fleet size, politeness).  This is
+        the unit of incremental re-curation: a shard whose digest is
+        unchanged is loaded from cache; a changed digest means stale and
+        the shard — only that shard — is re-dispatched.
+        """
+        parts = (
+            base,
+            city,
+            isp,
+            str(self.config.effective_n_workers(isp)),
+            repr(self.config.effective_politeness(isp)),
+        )
+        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
     def _shard_cache_keys(
-        self, city: str, isp: str, tasks: list[NoisyAddress], digest: str
+        self, isp: str, tasks: list[NoisyAddress], digest: str
     ) -> tuple[str, ...]:
         # Keys address the *canonical* (truth) address: distinct feed
         # entries can share a noisy public spelling, but never a canonical
@@ -292,7 +390,7 @@ class CurationPipeline:
                 entry.truth.zip_code,
                 config.seed,
                 config.scale,
-                context_digest=f"{digest}|{city}",
+                context_digest=digest,
             )
             for entry in tasks
         )
@@ -322,48 +420,71 @@ class CurationPipeline:
         if not shards:
             raise DatasetError("no (city, ISP) pairs matched the curation request")
 
-        digest = self._context_digest() if self.cache is not None else ""
+        # Every shard's config digest is computed up front; it decides —
+        # together with the address-level keys it feeds — whether the
+        # shard is fresh (served from cache) or stale (re-dispatched).
+        base = self._base_digest() if self.cache is not None else ""
         plans: list[_ShardPlan] = []
         for city, isp in shards:
             city_world = self._world.city(city)
             keys: tuple[str, ...] = ()
             tasks: tuple[NoisyAddress, ...] | None = None
+            digest = ""
             if self.cache is not None:
+                digest = self._shard_config_digest(city, isp, base)
                 tasks = tuple(
                     _shard_tasks(
                         city_world, isp, self.config.sampling,
                         self._world.config.seed,
                     )
                 )
-                keys = self._shard_cache_keys(city, isp, list(tasks), digest)
-            plans.append(_ShardPlan(city, isp, city_world, keys, tasks))
+                keys = self._shard_cache_keys(isp, list(tasks), digest)
+            plans.append(
+                _ShardPlan(city, isp, city_world, keys, tasks, digest)
+            )
 
         # Serve whole shards from the cache; replay the rest.
         results: dict[int, tuple[AddressObservation, ...]] = {}
         pending: list[tuple[int, _ShardPlan]] = []
+        disk_shards = 0
         for index, plan in enumerate(plans):
-            cached = (
-                self.cache.lookup_shard(plan.cache_keys)
-                if self.cache is not None
-                else None
-            )
+            cached = None
+            if self.cache is not None:
+                before = self.cache.stats.disk_shard_hits
+                cached = self.cache.lookup_shard(plan.cache_keys)
+                disk_shards += self.cache.stats.disk_shard_hits - before
             if cached is not None:
                 results[index] = cached
             else:
                 pending.append((index, plan))
 
+        replayed = 0
         if pending:
             executed = self._execute([plan for _, plan in pending])
+            world_config = self._world.config
             for (index, plan), observations in zip(pending, executed):
                 results[index] = observations
+                replayed += len(observations)
                 if self.cache is not None:
-                    self.cache.store_shard(plan.cache_keys, observations)
+                    self.cache.store_shard(
+                        plan.cache_keys,
+                        observations,
+                        meta=ShardMeta(
+                            city=plan.city,
+                            isp=plan.isp,
+                            seed=world_config.seed,
+                            scale=world_config.scale,
+                            config_digest=plan.config_digest,
+                        ),
+                    )
 
         self.last_run = CurationRunReport(
             shards=tuple(shards),
             cached_shards=len(plans) - len(pending),
             executed_shards=len(pending),
             backend=self.executor.name,
+            disk_shards=disk_shards,
+            replayed_queries=replayed,
         )
         merged: list[AddressObservation] = []
         for index in range(len(plans)):

@@ -9,7 +9,10 @@ byte-identical datasets; only wall-clock time differs.
 
 :class:`~repro.exec.cache.QueryResultCache` complements the executors: it
 remembers finished shard results under content-addressed keys so repeated
-curation runs over unchanged worlds skip the replay entirely.
+curation runs over unchanged worlds skip the replay entirely.  With a
+:class:`~repro.exec.store.DiskShardStore` attached it becomes two-tier —
+shards persist across processes and CI runs, with atomic writes, versioned
+serialization, and LRU eviction under a byte cap.
 """
 
 from .base import (
@@ -22,6 +25,16 @@ from .base import (
 from .cache import CacheStats, QueryResultCache, address_cache_key
 from .processes import ProcessPoolBackend
 from .serial import SerialExecutor
+from .store import (
+    STORE_VERSION,
+    DiskShardStore,
+    ShardMeta,
+    StoreEntry,
+    build_result_cache,
+    default_cache_dir,
+    default_cache_max_bytes,
+    shard_digest,
+)
 from .threads import ThreadPoolBackend
 
 __all__ = [
@@ -36,4 +49,12 @@ __all__ = [
     "CacheStats",
     "QueryResultCache",
     "address_cache_key",
+    "STORE_VERSION",
+    "DiskShardStore",
+    "ShardMeta",
+    "StoreEntry",
+    "build_result_cache",
+    "default_cache_dir",
+    "default_cache_max_bytes",
+    "shard_digest",
 ]

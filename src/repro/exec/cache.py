@@ -18,6 +18,12 @@ rate-limit windows), so replaying a partial shard against fresh state
 would produce different timings than the cached remainder — mixing the two
 would break the byte-identical-replay guarantee.  All-or-nothing reuse
 keeps every curated dataset exactly equal to a from-scratch run.
+
+The cache is **two-tier**: the in-memory entry table serves the running
+process, and an optional :class:`~repro.exec.store.DiskShardStore` makes
+results survive across processes — a fresh CI run or a second experiment
+invocation loads finished shards from disk instead of replaying a single
+BQT query.  Disk hits are promoted into the memory tier on first touch.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..addresses.normalize import canonical_key
 from ..errors import ConfigurationError
+from .store import DiskShardStore, ShardMeta
 
 if TYPE_CHECKING:  # runtime-lazy: repro.dataset imports this module back
     from ..dataset.records import AddressObservation
@@ -71,13 +78,20 @@ def address_cache_key(
 
 @dataclass
 class CacheStats:
-    """Running hit/miss counters (address-level granularity)."""
+    """Running hit/miss counters (address-level granularity).
+
+    ``shard_hits`` counts every served shard regardless of tier;
+    ``disk_shard_hits`` counts the subset that came off disk (and was
+    promoted into memory).  ``disk_stores`` counts shards persisted.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     shard_hits: int = 0
     shard_misses: int = 0
+    disk_shard_hits: int = 0
+    disk_stores: int = 0
 
     @property
     def lookups(self) -> int:
@@ -91,17 +105,23 @@ class CacheStats:
 
 
 class QueryResultCache:
-    """In-memory store of finished address observations.
+    """Two-tier store of finished address observations.
 
     One instance can back many pipelines (the experiment context shares a
     process-wide cache across scales and seeds — distinct configurations
     occupy distinct keys).  Thread-safe: shard lookups and stores take an
     internal lock, so a thread-backed pipeline can share an instance.
+
+    Args:
+        store: Optional on-disk tier.  When set, shard stores are
+            persisted and memory misses fall through to disk; a disk hit
+            is promoted into the memory tier so the next lookup is free.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: DiskShardStore | None = None) -> None:
         self._entries: dict[str, AddressObservation] = {}
         self._lock = threading.Lock()
+        self.store = store
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -120,10 +140,13 @@ class QueryResultCache:
     ) -> tuple[AddressObservation, ...] | None:
         """Return the full shard's observations, or None on any miss.
 
-        Accounting is per address: a served shard counts ``len(keys)``
-        hits; a miss counts ``len(keys)`` misses (the whole shard will be
-        re-queried).  An empty key set is never a hit — a zero-task shard
-        goes to the executor, not the cache, so the counters stay honest.
+        The memory tier is checked first; on a memory miss the disk tier
+        (when attached) is consulted, and a disk hit is promoted into
+        memory.  Accounting is per address: a served shard counts
+        ``len(keys)`` hits regardless of tier; a miss counts ``len(keys)``
+        misses (the whole shard will be re-queried).  An empty key set is
+        never a hit — a zero-task shard goes to the executor, not the
+        cache, so the counters stay honest.
         """
         if not keys:
             return None
@@ -132,16 +155,32 @@ class QueryResultCache:
                 self.stats.hits += len(keys)
                 self.stats.shard_hits += 1
                 return tuple(self._entries[key] for key in keys)
+        if self.store is not None:
+            observations = self.store.get(keys)
+            if observations is not None and len(observations) == len(keys):
+                with self._lock:
+                    for key, observation in zip(keys, observations):
+                        self._entries[key] = observation
+                    self.stats.hits += len(keys)
+                    self.stats.shard_hits += 1
+                    self.stats.disk_shard_hits += 1
+                return observations
+        with self._lock:
             self.stats.misses += len(keys)
             self.stats.shard_misses += 1
-            return None
+        return None
 
     def store_shard(
         self,
         keys: Sequence[str],
         observations: Iterable[AddressObservation],
+        meta: ShardMeta | None = None,
     ) -> None:
-        """Record a freshly executed shard, one entry per address."""
+        """Record a freshly executed shard, one entry per address.
+
+        ``meta`` labels the shard in the disk manifest (city, ISP, seed,
+        scale, config digest); it is ignored by the memory tier.
+        """
         observations = tuple(observations)
         if len(keys) != len(observations):
             raise ConfigurationError(
@@ -151,8 +190,17 @@ class QueryResultCache:
             for key, observation in zip(keys, observations):
                 self._entries[key] = observation
                 self.stats.stores += 1
+        if self.store is not None and keys:
+            self.store.put(keys, observations, meta=meta)
+            with self._lock:
+                self.stats.disk_stores += 1
 
-    def clear(self) -> None:
-        """Drop every entry (counters are preserved)."""
+    def clear(self, disk: bool = False) -> None:
+        """Drop every memory entry (counters are preserved).
+
+        ``disk=True`` also purges the on-disk tier, when one is attached.
+        """
         with self._lock:
             self._entries.clear()
+        if disk and self.store is not None:
+            self.store.purge()

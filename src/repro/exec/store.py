@@ -1,0 +1,482 @@
+"""Content-addressed on-disk shard store: the cache tier that survives.
+
+:class:`~repro.exec.cache.QueryResultCache` remembers finished (city, ISP)
+shards in process memory; this module gives it a second tier that persists
+across processes, CI runs, and experiment invocations.  The layout under
+the store root is::
+
+    <root>/
+        manifest.json               # entry metadata + LRU clock
+        objects/<dd>/<digest>.json  # one versioned file per shard
+
+Every shard is addressed by the SHA-256 digest of its ordered
+address-level cache keys — each of which already encodes (ISP, canonical
+address, world seed, scale, config digest) — so the content *is* the
+address: any configuration change produces a different digest and the old
+entry is simply never looked up again.  The manifest records the
+human-readable side of each key (city, ISP, seed, scale, config digest)
+plus size and last-access order for eviction.
+
+Durability rules:
+
+* **Atomic shard writes.**  Entries are written to a temp file in the
+  object directory and ``os.replace``-d into place, so a concurrent reader
+  (or a crash mid-write) never observes a partial shard.  Two processes
+  racing to write the same digest write byte-identical content — the
+  replay is deterministic — so last-writer-wins is harmless.
+* **Versioned serialization.**  Every entry embeds
+  :data:`STORE_VERSION`; a version mismatch is a cache miss, never a
+  crash — and the mismatched file is left on disk untouched, since it may
+  be a *newer* format written by another code version sharing the root.
+  Corrupted or truncated entries are deleted on read and reported as
+  misses.
+* **LRU eviction under a byte cap.**  The manifest keeps a monotonic
+  access clock; when ``max_bytes`` is set, the least-recently-used entries
+  are evicted until the store fits.
+* **Manifest is advisory.**  Object files are the source of truth: an
+  entry present on disk but missing from the manifest (a cross-process
+  manifest race, a deleted manifest) is adopted on first read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # runtime-lazy: repro.dataset imports repro.exec back
+    from ..dataset.records import AddressObservation
+
+__all__ = [
+    "STORE_VERSION",
+    "ShardMeta",
+    "StoreEntry",
+    "DiskShardStore",
+    "shard_digest",
+    "default_cache_dir",
+    "default_cache_max_bytes",
+    "build_result_cache",
+]
+
+#: Serialization format version.  Bump on any change to the entry schema;
+#: readers treat every other version as a miss.
+STORE_VERSION = 1
+
+#: Environment variable naming the on-disk cache root (CLI ``--cache-dir``
+#: overrides it; unset means memory-only caching).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable capping the store size in bytes (optional).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+
+def shard_digest(keys: Sequence[str]) -> str:
+    """Content address of one shard: digest of its ordered address keys."""
+    hasher = hashlib.sha256()
+    for key in keys:
+        hasher.update(key.encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def default_cache_dir() -> Path | None:
+    """Store root from ``REPRO_CACHE_DIR`` (None when unset/empty)."""
+    raw = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+def default_cache_max_bytes() -> int | None:
+    """Byte cap from ``REPRO_CACHE_MAX_BYTES`` (None when unset/empty)."""
+    raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+    return int(raw) if raw else None
+
+
+@dataclass(frozen=True)
+class ShardMeta:
+    """Human-readable half of a shard's identity, kept in the manifest.
+
+    The digest alone suffices for correctness; the metadata exists so a
+    person (or the CI artifact step) can read the manifest and see *which*
+    (city, ISP, seed, scale, config) each opaque entry belongs to.
+    """
+
+    city: str = ""
+    isp: str = ""
+    seed: int = 0
+    scale: float = 0.0
+    config_digest: str = ""
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One manifest row: shard identity plus size and LRU position."""
+
+    digest: str
+    meta: ShardMeta
+    n_observations: int
+    n_bytes: int
+    access: int
+
+
+def _observation_to_dict(obs: "AddressObservation") -> dict:
+    return {
+        "address_id": obs.address_id,
+        "city": obs.city,
+        "block_group": obs.block_group,
+        "isp": obs.isp,
+        "status": obs.status,
+        "elapsed_seconds": obs.elapsed_seconds,
+        "plans": [
+            {
+                "name": p.name,
+                "down": p.download_mbps,
+                "up": p.upload_mbps,
+                "price": p.monthly_price,
+            }
+            for p in obs.plans
+        ],
+    }
+
+
+def _observation_from_dict(row: dict) -> "AddressObservation":
+    from ..dataset.records import AddressObservation, PlanObservation
+
+    return AddressObservation(
+        address_id=row["address_id"],
+        city=row["city"],
+        block_group=row["block_group"],
+        isp=row["isp"],
+        status=row["status"],
+        plans=tuple(
+            PlanObservation(
+                name=p["name"],
+                download_mbps=float(p["down"]),
+                upload_mbps=float(p["up"]),
+                monthly_price=float(p["price"]),
+            )
+            for p in row["plans"]
+        ),
+        elapsed_seconds=float(row["elapsed_seconds"]),
+    )
+
+
+class DiskShardStore:
+    """Content-addressed, LRU-evicting, crash-safe store of shard results.
+
+    Thread-safe within a process (one internal lock) and safe to share a
+    root across processes: writes are atomic renames, the manifest is
+    advisory, and racing writers of the same digest produce identical
+    bytes.
+
+    Args:
+        root: Store directory (created on first use).
+        max_bytes: Evict least-recently-used entries once the sum of entry
+            sizes exceeds this; None means unbounded.
+    """
+
+    def __init__(self, root: str | Path, max_bytes: int | None = None) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._objects = self.root / "objects"
+        self._manifest_path = self.root / "manifest.json"
+        self._manifest = self._load_manifest()
+        self._tmp_counter = 0
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._manifest["entries"])
+
+    def total_bytes(self) -> int:
+        """Sum of entry sizes currently tracked by the manifest."""
+        with self._lock:
+            return sum(e["n_bytes"] for e in self._manifest["entries"].values())
+
+    def entries(self) -> tuple[StoreEntry, ...]:
+        """Manifest rows, least-recently-used first."""
+        with self._lock:
+            rows = sorted(
+                self._manifest["entries"].items(), key=lambda kv: kv[1]["access"]
+            )
+        return tuple(
+            StoreEntry(
+                digest=digest,
+                meta=ShardMeta(
+                    city=row["city"],
+                    isp=row["isp"],
+                    seed=row["seed"],
+                    scale=row["scale"],
+                    config_digest=row["config_digest"],
+                ),
+                n_observations=row["n_observations"],
+                n_bytes=row["n_bytes"],
+                access=row["access"],
+            )
+            for digest, row in rows
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(
+        self, keys: Sequence[str]
+    ) -> "tuple[AddressObservation, ...] | None":
+        """Load a shard by its address keys; None on miss/corruption.
+
+        A successful read bumps the entry's LRU clock (persisted lazily —
+        on the next mutation — so a hit never pays a manifest write).
+        Corrupted or malformed files are deleted and reported as misses;
+        a file with a *different serialization version* is left on disk
+        untouched — it may belong to another code version sharing the
+        store root — and only reported as a miss.
+        """
+        if not keys:
+            return None
+        digest = shard_digest(keys)
+        path = self._object_path(digest)
+        with self._lock:
+            payload, corrupt = self._read_entry(path)
+            if payload is None:
+                if corrupt:
+                    self._drop_entry(digest, path)
+                elif not path.exists():
+                    # Evicted/removed by another process: forget the row.
+                    self._forget(digest)
+                return None
+            if payload.get("keys") != list(keys):
+                # Same digest, different keys: tampered or hash-collided
+                # content can never be served.
+                self._drop_entry(digest, path)
+                return None
+            try:
+                observations = tuple(
+                    _observation_from_dict(row) for row in payload["observations"]
+                )
+            except (KeyError, TypeError, ValueError):
+                self._drop_entry(digest, path)
+                return None
+            self._touch(digest, payload, path)
+        return observations
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        keys: Sequence[str],
+        observations: "Iterable[AddressObservation]",
+        meta: ShardMeta | None = None,
+    ) -> str:
+        """Persist one shard atomically; returns its digest.
+
+        The entry is written next to its final location and renamed into
+        place, so concurrent readers never see a partial file.  If the
+        byte cap is exceeded afterwards, least-recently-used entries are
+        evicted (the fresh entry is the most recent, so it survives unless
+        it alone exceeds the cap).
+        """
+        keys = list(keys)
+        digest = shard_digest(keys)
+        meta = meta or ShardMeta()
+        rows = [_observation_to_dict(obs) for obs in observations]
+        payload = {
+            "version": STORE_VERSION,
+            "digest": digest,
+            "keys": keys,
+            "meta": asdict(meta),
+            "observations": rows,
+        }
+        blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        path = self._object_path(digest)
+        with self._lock:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(path, blob)
+            self._manifest["clock"] += 1
+            self._manifest["entries"][digest] = {
+                **asdict(meta),
+                "n_observations": len(rows),
+                "n_bytes": len(blob),
+                "access": self._manifest["clock"],
+            }
+            self._evict_over_cap()
+            self._save_manifest()
+        return digest
+
+    def purge(self) -> None:
+        """Delete every entry and reset the manifest."""
+        with self._lock:
+            for digest in list(self._manifest["entries"]):
+                self._unlink(self._object_path(digest))
+            self._manifest = {"version": STORE_VERSION, "clock": 0, "entries": {}}
+            self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # Internals (caller holds the lock)
+    # ------------------------------------------------------------------
+    def _object_path(self, digest: str) -> Path:
+        return self._objects / digest[:2] / f"{digest}.json"
+
+    def _atomic_write(self, path: Path, blob: bytes) -> None:
+        self._tmp_counter += 1
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{self._tmp_counter}.tmp"
+        )
+        try:
+            with tmp.open("wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            self._unlink(tmp)
+
+    def _read_entry(self, path: Path) -> tuple[dict | None, bool]:
+        """Parse one entry file: ``(payload, corrupt)``.
+
+        ``(None, False)`` is a clean miss (file absent, or a foreign
+        serialization version that must be left alone); ``(None, True)``
+        is a corrupt file the caller should delete.
+        """
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None, False
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            return None, True
+        if not isinstance(payload, dict):
+            return None, True
+        if payload.get("version") != STORE_VERSION:
+            return None, False
+        if not isinstance(payload.get("observations"), list):
+            return None, True
+        return payload, False
+
+    def _touch(self, digest: str, payload: dict, path: Path) -> None:
+        # LRU bookkeeping only: recorded in memory and persisted on the
+        # next mutating operation (put/evict/drop) or explicit flush(), so
+        # a cache hit costs zero manifest writes.  A touch lost to a crash
+        # only ages the entry in LRU order — never a correctness issue.
+        entry = self._manifest["entries"].get(digest)
+        if entry is None:
+            # Adopted from disk: another process wrote it, or the manifest
+            # was lost.  Reconstruct the row from the entry's embedded meta.
+            meta = payload.get("meta") or {}
+            entry = {
+                **asdict(ShardMeta()),
+                **{k: meta[k] for k in asdict(ShardMeta()) if k in meta},
+                "n_observations": len(payload["observations"]),
+                "n_bytes": self._file_size(path),
+                "access": 0,
+            }
+            self._manifest["entries"][digest] = entry
+        self._manifest["clock"] += 1
+        entry["access"] = self._manifest["clock"]
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Persist any pending LRU touches to the manifest."""
+        with self._lock:
+            if self._dirty:
+                self._save_manifest()
+
+    def _forget(self, digest: str) -> None:
+        if self._manifest["entries"].pop(digest, None) is not None:
+            self._save_manifest()
+
+    def _drop_entry(self, digest: str, path: Path) -> None:
+        self._unlink(path)
+        if self._manifest["entries"].pop(digest, None) is not None:
+            self._save_manifest()
+
+    def _evict_over_cap(self) -> None:
+        if self.max_bytes is None:
+            return
+        entries = self._manifest["entries"]
+        by_age = sorted(entries.items(), key=lambda kv: kv[1]["access"])
+        total = sum(row["n_bytes"] for _, row in by_age)
+        for digest, row in by_age:
+            if total <= self.max_bytes:
+                break
+            self._unlink(self._object_path(digest))
+            entries.pop(digest, None)
+            total -= row["n_bytes"]
+
+    def _load_manifest(self) -> dict:
+        fresh = {"version": STORE_VERSION, "clock": 0, "entries": {}}
+        try:
+            data = json.loads(self._manifest_path.read_bytes())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            return fresh
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != STORE_VERSION
+            or not isinstance(data.get("entries"), dict)
+            or not isinstance(data.get("clock"), int)
+        ):
+            return fresh
+        return data
+
+    def _save_manifest(self) -> None:
+        self._dirty = False
+        self.root.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(self._manifest, indent=1, sort_keys=True).encode()
+        self._tmp_counter += 1
+        tmp = self._manifest_path.with_name(
+            f".manifest.{os.getpid()}.{self._tmp_counter}.tmp"
+        )
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, self._manifest_path)
+        finally:
+            self._unlink(tmp)
+
+    @staticmethod
+    def _file_size(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    @staticmethod
+    def _unlink(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiskShardStore(root={str(self.root)!r}, max_bytes={self.max_bytes})"
+
+
+def build_result_cache(
+    cache_dir: str | Path | None = None,
+    max_bytes: int | None = None,
+    enabled: bool = True,
+):
+    """Assemble a :class:`~repro.exec.cache.QueryResultCache` from knobs.
+
+    Resolution order mirrors the CLIs: an explicit ``cache_dir`` wins,
+    then ``REPRO_CACHE_DIR``; with neither, the cache is memory-only.
+    ``enabled=False`` (the ``--no-cache`` flag) returns None — no caching
+    at any tier.
+    """
+    from .cache import QueryResultCache
+
+    if not enabled:
+        return None
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    if root is None:
+        return QueryResultCache()
+    if max_bytes is None:
+        max_bytes = default_cache_max_bytes()
+    return QueryResultCache(store=DiskShardStore(root, max_bytes=max_bytes))

@@ -16,6 +16,8 @@ from . import (
 from .base import ExperimentResult, cdf_rows, render_table
 from .context import (
     ExperimentContext,
+    clear_context_cache,
+    context_cache_size,
     default_backend,
     default_scale,
     get_context,
@@ -52,6 +54,8 @@ __all__ = [
     "cdf_rows",
     "render_table",
     "ExperimentContext",
+    "clear_context_cache",
+    "context_cache_size",
     "default_backend",
     "default_scale",
     "get_context",

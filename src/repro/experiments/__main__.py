@@ -35,6 +35,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="curation execution backend (default: "
                              "REPRO_EXEC_BACKEND or serial; all backends "
                              "produce the identical dataset)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="on-disk query-result cache root (default: "
+                             "REPRO_CACHE_DIR; unset = memory-only cache). "
+                             "A warm cache makes repeat reproductions skip "
+                             "curation entirely.")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the query-result cache entirely")
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids to run (default: all)")
     parser.add_argument("--output", type=Path,
@@ -56,6 +63,8 @@ def main(argv: list[str] | None = None) -> int:
         min_samples=args.min_samples,
         cities=tuple(args.cities) if args.cities else None,
         backend=args.backend,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        use_cache=not args.no_cache,
     )
     print(f"context ready in {time.time() - started:.0f}s: "
           f"{len(context.dataset)} observations\n")

@@ -6,6 +6,21 @@ cost, so every table/figure reproduction shares a cached
 ``REPRO_BENCH_SCALE`` and ``REPRO_BENCH_MIN_SAMPLES`` environment
 variables; the defaults trade ~1-2 minutes of curation for statistically
 meaningful per-block-group samples across all thirty cities.
+
+Two caches cooperate here, at different granularities:
+
+* ``get_context`` memoizes whole contexts per argument tuple (an
+  ``lru_cache``), so the same invocation never rebuilds anything.  Use
+  :func:`clear_context_cache` / :func:`context_cache_size` to reset or
+  inspect it — tests that mutate cache-relevant environment variables
+  must clear it in teardown or later tests silently reuse their contexts.
+* a process-wide :class:`~repro.exec.QueryResultCache` is shared by every
+  pipeline the contexts run, so different configurations that overlap in
+  (city, ISP) shards reuse each other's query replays.  When
+  ``REPRO_CACHE_DIR`` is set (or a CLI passes ``--cache-dir``) the shared
+  cache gains an on-disk tier and reuse extends across processes: a
+  second ``python -m repro.experiments`` run loads every unchanged shard
+  from disk instead of replaying it.
 """
 
 from __future__ import annotations
@@ -19,6 +34,11 @@ from ..dataset.curation import CurationConfig, CurationPipeline
 from ..dataset.sampling import SamplingConfig
 from ..exec.base import default_backend
 from ..exec.cache import QueryResultCache
+from ..exec.store import (
+    build_result_cache,
+    default_cache_dir,
+    default_cache_max_bytes,
+)
 from ..world import World, WorldConfig, build_world
 
 __all__ = [
@@ -27,6 +47,8 @@ __all__ = [
     "default_scale",
     "default_backend",
     "shared_result_cache",
+    "clear_context_cache",
+    "context_cache_size",
 ]
 
 _DEFAULT_SCALE = 0.12
@@ -35,13 +57,49 @@ _DEFAULT_SEED = 42
 
 # One query-result cache for the whole process: repeated context builds
 # (ablation sweeps, example scripts, --only reruns) skip re-curating any
-# (city, ISP) shard whose content-addressed keys are already known.
-_SHARED_CACHE = QueryResultCache()
+# (city, ISP) shard whose content-addressed keys are already known.  The
+# instance is rebuilt if the disk-tier configuration changes underneath
+# us (tests monkeypatching REPRO_CACHE_DIR, CLI flags).
+_SHARED_CACHE: QueryResultCache | None = None
+_SHARED_CACHE_TOKEN: tuple[str, int | None] | None = None
 
 
-def shared_result_cache() -> QueryResultCache:
-    """The process-wide curation result cache used by experiment contexts."""
+def _cache_token(cache_dir: str | None) -> tuple[str, int | None]:
+    resolved = cache_dir if cache_dir is not None else str(default_cache_dir() or "")
+    return (resolved, default_cache_max_bytes())
+
+
+def shared_result_cache(cache_dir: str | None = None) -> QueryResultCache:
+    """The process-wide curation result cache used by experiment contexts.
+
+    With ``cache_dir`` (or ``REPRO_CACHE_DIR``) set, the cache carries an
+    on-disk tier rooted there; otherwise it is memory-only.  The same
+    instance is returned until the disk-tier configuration changes.
+    """
+    global _SHARED_CACHE, _SHARED_CACHE_TOKEN
+    token = _cache_token(cache_dir)
+    if _SHARED_CACHE is None or token != _SHARED_CACHE_TOKEN:
+        _SHARED_CACHE = build_result_cache(cache_dir=token[0] or None)
+        _SHARED_CACHE_TOKEN = token
     return _SHARED_CACHE
+
+
+def clear_context_cache(disk: bool = False) -> None:
+    """Reset both context-level caches (test-teardown hook).
+
+    Drops every memoized :class:`ExperimentContext` and empties the shared
+    query-result cache's memory tier.  ``disk=True`` additionally purges
+    the on-disk store, when one is attached.  Counters on the shared cache
+    are preserved (they are cumulative diagnostics, not state).
+    """
+    get_context.cache_clear()
+    if _SHARED_CACHE is not None:
+        _SHARED_CACHE.clear(disk=disk)
+
+
+def context_cache_size() -> int:
+    """Number of memoized experiment contexts currently held."""
+    return get_context.cache_info().currsize
 
 
 def default_scale() -> float:
@@ -79,6 +137,8 @@ def get_context(
     min_samples: int | None = None,
     cities: tuple[str, ...] | None = None,
     backend: str | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
 ) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
 
@@ -91,6 +151,10 @@ def get_context(
         backend: Curation execution backend name (``"serial"``,
             ``"thread"``, ``"process"``; None = ``REPRO_EXEC_BACKEND`` or
             serial).  Every backend yields the identical dataset.
+        cache_dir: On-disk cache root for the shared result cache (None =
+            ``REPRO_CACHE_DIR`` or memory-only).
+        use_cache: False disables the query-result cache entirely for
+            this context (the ``--no-cache`` CLI flag).
     """
     scale = scale if scale is not None else default_scale()
     min_samples = min_samples if min_samples is not None else _default_min_samples()
@@ -100,7 +164,8 @@ def get_context(
         sampling=SamplingConfig(fraction=0.10, min_samples=min_samples),
         n_workers=50,
     )
+    cache = shared_result_cache(cache_dir) if use_cache else None
     dataset = CurationPipeline(
-        world, curation, executor=backend, cache=_SHARED_CACHE
+        world, curation, executor=backend, cache=cache
     ).curate()
     return ExperimentContext(world=world, dataset=dataset, curation=curation)

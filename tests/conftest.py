@@ -2,6 +2,14 @@
 
 The fixtures are session-scoped because world construction and curation
 dominate test time; individual tests must treat them as read-only.
+
+Both curated-dataset fixtures run their pipelines through
+``build_result_cache()``: memory-only normally, and with an on-disk tier
+when ``REPRO_CACHE_DIR`` is set — which is exactly what the CI warm-cache
+job does to make a second suite run skip every BQT replay.  Caching never
+changes the datasets (byte-identical reuse is the cache's contract,
+enforced by tests/test_cache_persistence.py), so tests see the same
+fixtures either way.
 """
 
 from __future__ import annotations
@@ -9,6 +17,8 @@ from __future__ import annotations
 import pytest
 
 from repro.dataset import CurationConfig, CurationPipeline, SamplingConfig
+from repro.exec import build_result_cache
+from repro.experiments import clear_context_cache
 from repro.world import WorldConfig, build_world
 
 TEST_SEED = 42
@@ -36,6 +46,7 @@ def tiny_dataset(tiny_world):
         CurationConfig(
             sampling=SamplingConfig(fraction=0.10, min_samples=8), n_workers=20
         ),
+        cache=build_result_cache(),
     )
     return pipeline.curate()
 
@@ -55,5 +66,20 @@ def two_city_dataset(two_city_world):
         CurationConfig(
             sampling=SamplingConfig(fraction=0.10, min_samples=8), n_workers=20
         ),
+        cache=build_result_cache(),
     )
     return pipeline.curate()
+
+
+@pytest.fixture
+def fresh_context_cache():
+    """Isolate a test that builds experiment contexts with unusual cache
+    settings (e.g. monkeypatched ``REPRO_CACHE_DIR``).
+
+    Clears the memoized contexts and the shared result cache's memory
+    tier on entry *and* exit, so state built under the test's environment
+    can neither leak into later tests nor be polluted by earlier ones.
+    """
+    clear_context_cache()
+    yield
+    clear_context_cache()

@@ -1,0 +1,537 @@
+"""The persistent cache tier and incremental re-curation, locked down by
+golden digests.
+
+Four layers of guarantees:
+
+* **Store properties** — atomic writes, LRU eviction under a byte cap,
+  corrupted/version-mismatched entries degrade to misses, concurrent
+  writers never leave partial files.
+* **Golden digests** — the curated datasets for two pinned seed
+  configurations must hash to checked-in SHA-256 values on every backend,
+  cold, warm-from-disk, and incrementally re-curated.  Any pipeline drift
+  shows up here as a digest mismatch.
+* **Incremental re-curation** — a config change scoped to one ISP
+  re-dispatches exactly that ISP's shards (asserted via the replay
+  counter); everything else loads from cache.
+* **Cross-process reuse** — a second CLI invocation against the same
+  ``REPRO_CACHE_DIR`` replays zero BQT queries and writes a byte-identical
+  release file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.dataset import CurationConfig, CurationPipeline, SamplingConfig
+from repro.dataset.records import AddressObservation, PlanObservation
+from repro.exec import (
+    STORE_VERSION,
+    DiskShardStore,
+    QueryResultCache,
+    ShardMeta,
+    build_result_cache,
+    shard_digest,
+)
+from repro.experiments import (
+    clear_context_cache,
+    context_cache_size,
+    get_context,
+    shared_result_cache,
+)
+from repro.world import WorldConfig, build_world
+
+ROOT = Path(__file__).resolve().parent.parent
+
+BACKENDS = ["serial", "thread", "process"]
+
+SMALL_CONFIG = CurationConfig(
+    sampling=SamplingConfig(fraction=0.10, min_samples=5), n_workers=10
+)
+
+# ----------------------------------------------------------------------
+# Golden content digests for the seed configurations.  Regenerate with:
+#   PYTHONPATH=src python -c "
+#     from repro.dataset import *; from repro.world import *;
+#     w = build_world(WorldConfig(seed=5, scale=0.05, cities=('wichita',)));
+#     print(CurationPipeline(w, CurationConfig(sampling=SamplingConfig(
+#         fraction=0.10, min_samples=5), n_workers=10)).curate().content_digest())"
+# A change here is a deliberate pipeline-behavior change and must be
+# called out in the PR description.
+# ----------------------------------------------------------------------
+GOLDEN_WICHITA_SEED5 = (
+    "81281849a61a340642234351e2d91df4e5d97d68010754c98b46b1fec0fc64c6"
+)
+GOLDEN_NOLA_SEED42 = (
+    "a3c450fd8040316efca01b99cb31d9cae8a72fe0d8faa3f46e4ee230c766938f"
+)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """One small city, two ISPs (att, cox): cheap enough to curate often."""
+    return build_world(WorldConfig(seed=5, scale=0.05, cities=("wichita",)))
+
+
+def _observation(i: int, isp: str = "cox") -> AddressObservation:
+    return AddressObservation(
+        address_id=f"addr-{i:04x}",
+        city="wichita",
+        block_group="200670001001",
+        isp=isp,
+        status="plans",
+        plans=(
+            PlanObservation(
+                name="plan", download_mbps=100.0, upload_mbps=10.0,
+                monthly_price=50.0,
+            ),
+        ),
+        elapsed_seconds=1.5 + i,
+    )
+
+
+def _shard(tag: str, n: int = 3):
+    keys = tuple(f"key-{tag}-{i:02d}" for i in range(n))
+    observations = tuple(_observation(i) for i in range(n))
+    return keys, observations
+
+
+# ----------------------------------------------------------------------
+# Store properties
+# ----------------------------------------------------------------------
+class TestDiskShardStore:
+    def test_roundtrip_across_instances(self, tmp_path):
+        keys, observations = _shard("a")
+        store = DiskShardStore(tmp_path / "s")
+        store.put(keys, observations, meta=ShardMeta(city="wichita", isp="cox"))
+        # A fresh instance (fresh process, conceptually) sees the entry.
+        reopened = DiskShardStore(tmp_path / "s")
+        assert reopened.get(keys) == observations
+        (entry,) = reopened.entries()
+        assert entry.meta.city == "wichita"
+        assert entry.meta.isp == "cox"
+        assert entry.n_observations == len(observations)
+
+    def test_get_unknown_is_miss(self, tmp_path):
+        store = DiskShardStore(tmp_path / "s")
+        assert store.get(("nope",)) is None
+        assert store.get(()) is None
+
+    def test_different_keys_never_alias(self, tmp_path):
+        store = DiskShardStore(tmp_path / "s")
+        keys, observations = _shard("a")
+        store.put(keys, observations)
+        assert store.get(keys[:-1]) is None
+        assert store.get(keys + ("extra",)) is None
+
+    def test_eviction_respects_byte_cap_and_lru_order(self, tmp_path):
+        store = DiskShardStore(tmp_path / "s")
+        shards = {tag: _shard(tag) for tag in ("a", "b", "c", "d")}
+        store.put(*shards["a"])
+        entry_bytes = store.total_bytes()
+        # Room for two entries (uniform content shape => uniform size).
+        store.max_bytes = int(entry_bytes * 2.5)
+
+        store.put(*shards["b"])
+        store.put(*shards["c"])  # evicts a (LRU)
+        assert store.get(shards["a"][0]) is None
+        assert store.get(shards["b"][0]) is not None  # touch b: c is now LRU
+        store.put(*shards["d"])  # evicts c, keeps freshly-touched b
+        assert store.get(shards["c"][0]) is None
+        assert store.get(shards["b"][0]) is not None
+        assert store.get(shards["d"][0]) is not None
+        assert len(store) == 2
+        assert store.total_bytes() <= store.max_bytes
+
+    def test_eviction_is_observable_in_manifest(self, tmp_path):
+        store = DiskShardStore(tmp_path / "s")
+        a, b = _shard("a"), _shard("b")
+        store.put(*a)
+        store.max_bytes = int(store.total_bytes() * 1.5)
+        store.put(*b)
+        digests = [entry.digest for entry in store.entries()]
+        assert digests == [shard_digest(b[0])]
+
+    def test_corrupted_entry_is_a_miss_and_removed(self, tmp_path):
+        keys, observations = _shard("a")
+        store = DiskShardStore(tmp_path / "s")
+        store.put(keys, observations)
+        digest = shard_digest(keys)
+        path = tmp_path / "s" / "objects" / digest[:2] / f"{digest}.json"
+        path.write_bytes(b"\x00garbage{{{")
+        assert store.get(keys) is None
+        assert not path.exists()
+        # The store recovers: a re-put serves again.
+        store.put(keys, observations)
+        assert store.get(keys) == observations
+
+    def test_version_mismatch_is_a_miss_and_file_survives(self, tmp_path):
+        keys, observations = _shard("a")
+        store = DiskShardStore(tmp_path / "s")
+        store.put(keys, observations)
+        digest = shard_digest(keys)
+        path = tmp_path / "s" / "objects" / digest[:2] / f"{digest}.json"
+        payload = json.loads(path.read_bytes())
+        payload["version"] = STORE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert store.get(keys) is None
+        # The file may belong to a newer code version sharing this root:
+        # it must be left in place, not deleted like a corrupt entry.
+        assert path.exists()
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        keys, observations = _shard("a")
+        store = DiskShardStore(tmp_path / "s")
+        store.put(keys, observations)
+        digest = shard_digest(keys)
+        path = tmp_path / "s" / "objects" / digest[:2] / f"{digest}.json"
+        path.write_bytes(path.read_bytes()[:40])  # simulated torn write
+        assert store.get(keys) is None
+
+    def test_corrupted_manifest_starts_fresh_and_adopts_objects(self, tmp_path):
+        keys, observations = _shard("a")
+        store = DiskShardStore(tmp_path / "s")
+        store.put(keys, observations)
+        (tmp_path / "s" / "manifest.json").write_text("not json at all")
+        reopened = DiskShardStore(tmp_path / "s")
+        assert len(reopened) == 0  # manifest lost ...
+        assert reopened.get(keys) == observations  # ... objects adopted
+        assert len(reopened) == 1
+
+    def test_purge_empties_everything(self, tmp_path):
+        store = DiskShardStore(tmp_path / "s")
+        for tag in ("a", "b"):
+            store.put(*_shard(tag))
+        store.purge()
+        assert len(store) == 0
+        assert store.total_bytes() == 0
+        assert store.get(_shard("a")[0]) is None
+
+    def test_concurrent_thread_writes_leave_no_partial_files(self, tmp_path):
+        store = DiskShardStore(tmp_path / "s")
+        shards = [_shard(f"t{i}", n=4) for i in range(16)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda s: store.put(*s), shards))
+        assert not list((tmp_path / "s").rglob("*.tmp"))
+        for keys, observations in shards:
+            assert store.get(keys) == observations
+
+    def test_concurrent_process_writes_leave_no_partial_files(self, tmp_path):
+        """Separate OS processes hammer one store root (the process-backend
+        sharing scenario); every entry must come out whole."""
+        root = tmp_path / "s"
+        script = (
+            "import sys\n"
+            "from repro.exec import DiskShardStore\n"
+            "from repro.dataset.records import AddressObservation\n"
+            "worker = int(sys.argv[2])\n"
+            "store = DiskShardStore(sys.argv[1])\n"
+            "for i in range(8):\n"
+            "    tag = 'shared' if i % 2 else f'w{worker}-{i}'\n"
+            "    keys = [f'key-{tag}-{j}' for j in range(3)]\n"
+            "    obs = [AddressObservation(address_id=f'a{j}', city='c',\n"
+            "        block_group='bg', isp='cox', status='plans', plans=(),\n"
+            "        elapsed_seconds=float(j)) for j in range(3)]\n"
+            "    store.put(keys, obs)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=_pythonpath())
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(root), str(worker)], env=env
+            )
+            for worker in range(4)
+        ]
+        assert all(proc.wait(timeout=60) == 0 for proc in procs)
+        assert not list(root.rglob("*.tmp"))
+        store = DiskShardStore(root)
+        keys = [f"key-shared-{j}" for j in range(3)]
+        observations = store.get(keys)
+        assert observations is not None and len(observations) == 3
+
+
+# ----------------------------------------------------------------------
+# Two-tier cache behavior
+# ----------------------------------------------------------------------
+class TestTwoTierCache:
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        keys, observations = _shard("a")
+        writer = QueryResultCache(store=DiskShardStore(tmp_path / "s"))
+        writer.store_shard(keys, observations)
+        assert writer.stats.disk_stores == 1
+
+        reader = QueryResultCache(store=DiskShardStore(tmp_path / "s"))
+        assert reader.lookup_shard(keys) == observations
+        assert reader.stats.disk_shard_hits == 1
+        # Promoted: the second lookup is a pure memory hit.
+        assert reader.lookup_shard(keys) == observations
+        assert reader.stats.disk_shard_hits == 1
+        assert reader.stats.shard_hits == 2
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        keys, observations = _shard("a")
+        cache = QueryResultCache(store=DiskShardStore(tmp_path / "s"))
+        cache.store_shard(keys, observations)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup_shard(keys) == observations  # via disk
+
+    def test_clear_disk_purges_both_tiers(self, tmp_path):
+        keys, observations = _shard("a")
+        cache = QueryResultCache(store=DiskShardStore(tmp_path / "s"))
+        cache.store_shard(keys, observations)
+        cache.clear(disk=True)
+        assert cache.lookup_shard(keys) is None
+
+    def test_build_result_cache_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert build_result_cache(enabled=False) is None
+        assert build_result_cache().store is None
+        explicit = build_result_cache(cache_dir=tmp_path / "x")
+        assert explicit.store is not None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        via_env = build_result_cache()
+        assert via_env.store is not None
+        assert via_env.store.root == tmp_path / "env"
+
+
+# ----------------------------------------------------------------------
+# Golden digests: cold / warm-from-disk / incremental, on every backend
+# ----------------------------------------------------------------------
+def test_tiny_dataset_matches_golden(tiny_dataset):
+    """The conftest fixture dataset (cache-wired) matches the pinned digest
+    — so a warm-cache CI pass provably reruns the suite on identical data."""
+    assert tiny_dataset.content_digest() == GOLDEN_NOLA_SEED42
+
+
+def test_cold_serial_run_matches_golden(small_world):
+    dataset = CurationPipeline(small_world, SMALL_CONFIG).curate()
+    assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestGoldenDigests:
+    def test_cold_run(self, small_world, backend):
+        dataset = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend
+        ).curate()
+        assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+
+    def test_warm_disk_run(self, small_world, backend, tmp_path):
+        cold_cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        cold = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend, cache=cold_cache
+        )
+        assert cold.curate().content_digest() == GOLDEN_WICHITA_SEED5
+        assert cold.last_run.replayed_queries > 0
+
+        # Fresh memory tier over the same store root = a new process.
+        warm_cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        warm = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend, cache=warm_cache
+        )
+        dataset = warm.curate()
+        assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+        assert warm.last_run.replayed_queries == 0
+        assert warm.last_run.disk_shards == warm.last_run.total_shards
+
+    def test_incremental_run(self, small_world, backend, tmp_path):
+        cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend, cache=cache
+        ).curate()
+
+        # Untouched config over a fresh process: still golden, zero replays.
+        incremental_cache = QueryResultCache(
+            store=DiskShardStore(tmp_path / "c")
+        )
+        pipeline = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend, cache=incremental_cache
+        )
+        dataset = pipeline.curate()
+        assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+        assert pipeline.last_run.replayed_queries == 0
+
+
+class TestIncrementalRecuration:
+    """A config change scoped to one ISP re-curates only that ISP's shard."""
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            "serial",
+            pytest.param("thread", marks=pytest.mark.slow),
+            pytest.param("process", marks=pytest.mark.slow),
+        ],
+    )
+    def test_one_isp_change_replays_one_shard(
+        self, small_world, backend, tmp_path
+    ):
+        cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        cold = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend, cache=cache
+        )
+        cold.curate()
+        assert cold.last_run.total_shards == 2  # (wichita, att), (wichita, cox)
+        cold_replays = cold.last_run.replayed_queries
+
+        changed = SMALL_CONFIG.with_isp_override("cox", politeness_seconds=4.0)
+        pipeline = CurationPipeline(
+            small_world, changed, executor=backend, cache=cache
+        )
+        incremental = pipeline.curate()
+        assert pipeline.last_run.executed_shards == 1
+        assert pipeline.last_run.cached_shards == 1
+        assert 0 < pipeline.last_run.replayed_queries < cold_replays
+
+        # The incremental dataset is byte-identical to a from-scratch run
+        # of the changed config.
+        scratch = CurationPipeline(small_world, changed, executor=backend).curate()
+        assert incremental.observations == scratch.observations
+        assert incremental.content_digest() == scratch.content_digest()
+
+    def test_global_change_replays_everything(self, small_world, tmp_path):
+        cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        CurationPipeline(small_world, SMALL_CONFIG, cache=cache).curate()
+        # Global politeness change: every shard's digest moves.
+        changed = replace(SMALL_CONFIG, politeness_seconds=4.0)
+        pipeline = CurationPipeline(small_world, changed, cache=cache)
+        pipeline.curate()
+        assert pipeline.last_run.cached_shards == 0
+        assert pipeline.last_run.executed_shards == 2
+
+    def test_corrupted_shard_is_recurated_not_fatal(self, small_world, tmp_path):
+        store = DiskShardStore(tmp_path / "c")
+        cold = CurationPipeline(
+            small_world,
+            SMALL_CONFIG,
+            cache=QueryResultCache(store=store),
+        )
+        first = cold.curate()
+        # Corrupt exactly one shard on disk.
+        victim = store.entries()[0]
+        path = (
+            tmp_path / "c" / "objects" / victim.digest[:2]
+            / f"{victim.digest}.json"
+        )
+        path.write_text("{broken")
+        pipeline = CurationPipeline(
+            small_world,
+            SMALL_CONFIG,
+            cache=QueryResultCache(store=DiskShardStore(tmp_path / "c")),
+        )
+        second = pipeline.curate()
+        assert pipeline.last_run.executed_shards == 1
+        assert pipeline.last_run.cached_shards == 1
+        assert second.observations == first.observations
+
+
+# ----------------------------------------------------------------------
+# Cross-process reuse via the CLI and REPRO_CACHE_DIR
+# ----------------------------------------------------------------------
+def _pythonpath() -> str:
+    src = str(ROOT / "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+def _run_dataset_cli(out: Path, cache_dir: Path) -> str:
+    env = dict(
+        os.environ, PYTHONPATH=_pythonpath(), REPRO_CACHE_DIR=str(cache_dir)
+    )
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro.dataset",
+            "--out", str(out),
+            "--cities", "wichita",
+            "--seed", "5", "--scale", "0.05",
+            "--min-samples", "5", "--workers", "10",
+        ],
+        env=env,
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def _replayed(stdout: str) -> int:
+    match = re.search(r"replayed (\d+) queries", stdout)
+    assert match, f"no replay counter in output:\n{stdout}"
+    return int(match.group(1))
+
+
+@pytest.mark.slow
+def test_cross_process_reuse_replays_nothing(tmp_path):
+    cache_dir = tmp_path / "cache"
+    first_out, second_out = tmp_path / "first.csv", tmp_path / "second.csv"
+
+    first = _run_dataset_cli(first_out, cache_dir)
+    assert _replayed(first) > 0
+    assert (cache_dir / "manifest.json").exists()
+
+    second = _run_dataset_cli(second_out, cache_dir)
+    assert _replayed(second) == 0
+    assert "(2 from disk)" in second
+    assert first_out.read_bytes() == second_out.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Experiment-context cache hygiene
+# ----------------------------------------------------------------------
+class TestContextCacheHygiene:
+    def test_clear_and_size_introspection(
+        self, tmp_path, monkeypatch, fresh_context_cache
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ctx"))
+        assert context_cache_size() == 0
+        get_context(scale=0.05, seed=5, min_samples=5, cities=("wichita",))
+        assert context_cache_size() == 1
+        shared = shared_result_cache()
+        assert shared.store is not None
+        assert shared.store.root == tmp_path / "ctx"
+        assert (tmp_path / "ctx" / "manifest.json").exists()
+
+        clear_context_cache()
+        assert context_cache_size() == 0
+        assert len(shared) == 0  # memory tier emptied
+        # Disk tier survives a memory-only clear ...
+        assert (tmp_path / "ctx" / "manifest.json").exists()
+        assert len(DiskShardStore(tmp_path / "ctx")) > 0
+        # ... and a second context build replays nothing.
+        context = get_context(
+            scale=0.05, seed=5, min_samples=5, cities=("wichita",)
+        )
+        assert len(context.dataset) > 0
+
+    def test_shared_cache_rebuilds_when_env_changes(
+        self, tmp_path, monkeypatch, fresh_context_cache
+    ):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        memory_only = shared_result_cache()
+        assert memory_only.store is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        disk_backed = shared_result_cache()
+        assert disk_backed is not memory_only
+        assert disk_backed.store is not None
+
+    def test_no_cache_context_skips_all_tiers(
+        self, monkeypatch, fresh_context_cache
+    ):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        context = get_context(
+            scale=0.05, seed=5, min_samples=5, cities=("wichita",),
+            use_cache=False,
+        )
+        assert len(context.dataset) > 0
+        assert len(shared_result_cache()) == 0
