@@ -12,7 +12,8 @@ footer) so the scraper's DOM queries must be genuinely selective.
 
 from __future__ import annotations
 
-from ..addresses.model import Address
+from functools import lru_cache
+
 from ..isp.plans import Plan
 from .profiles import BatProfile
 
@@ -40,9 +41,16 @@ def escape_html(text: str) -> str:
     )
 
 
-def _page(profile: BatProfile, title: str, body: str) -> str:
-    """Shared chrome: header, nav, content region, footer."""
-    return f"""<!DOCTYPE html>
+@lru_cache(maxsize=256)
+def _page_frame(profile: BatProfile, title: str) -> tuple[str, str]:
+    """Memoized shared chrome around the content region.
+
+    Every page of one (profile, title) pair wraps its body in the exact
+    same header/nav/footer markup; each BAT renders only a handful of
+    titles, so the fragment cache stays tiny while saving the chrome
+    formatting + escaping on every page of a million-query campaign.
+    """
+    prefix = f"""<!DOCTYPE html>
 <html lang="en">
 <head><meta charset="utf-8"><title>{escape_html(title)} | {escape_html(profile.brand)}</title></head>
 <body class="bat bat-{profile.isp}">
@@ -50,14 +58,25 @@ def _page(profile: BatProfile, title: str, body: str) -> str:
 <nav class="main-nav"><a href="/">Home</a><a href="/shop">Shop</a><a href="/support">Support</a></nav>
 </header>
 <main id="content">
-{body}
+"""
+    suffix = f"""
 </main>
 <footer class="legal"><p>&copy; {escape_html(profile.brand)}. Speeds not guaranteed.
 Taxes and equipment fees may apply. Offer availability varies by location.</p></footer>
 </body>
 </html>"""
+    return prefix, suffix
 
 
+def _page(profile: BatProfile, title: str, body: str) -> str:
+    """Shared chrome: header, nav, content region, footer."""
+    prefix, suffix = _page_frame(profile, title)
+    return prefix + body + suffix
+
+
+# The landing page and the technical-error page are pure functions of the
+# profile alone — memoize the whole render.
+@lru_cache(maxsize=None)
 def render_home(profile: BatProfile) -> str:
     """The address-entry form (the BAT landing page)."""
     body = f"""<section class="availability-check">
@@ -223,6 +242,7 @@ Please check the address and try again.</p>
     return _page(profile, "Address not found", body)
 
 
+@lru_cache(maxsize=None)
 def render_technical_error(profile: BatProfile) -> str:
     """The BAT's own failure mode (drives the Figure 2a hit-rate spread)."""
     body = """<section class="technical-error">

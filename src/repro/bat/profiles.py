@@ -12,6 +12,7 @@ registry (detection) derive from one specification.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import ConfigurationError
 
@@ -174,6 +175,10 @@ BAT_PROFILES: dict[str, BatProfile] = {
 }
 
 
+# Memoized: called once per rendered page on the query hot path, and the
+# profile table is immutable after import.  (functools caches only
+# successful calls, so unknown-ISP errors still raise every time.)
+@lru_cache(maxsize=None)
 def profile_for(isp_name: str) -> BatProfile:
     try:
         return BAT_PROFILES[isp_name.lower()]

@@ -2,6 +2,7 @@
 classification, suggestion matching, plan parsing, workflow, fleet
 orchestration and microbenchmark metrics."""
 
+from .aio import AsyncBroadbandQueryTool, AsyncBrowser
 from .bqt import BroadbandQueryTool
 from .dom import DomNode, Selector, parse_html
 from .matching import (
@@ -25,6 +26,8 @@ from .webdriver import Browser, PageLoad
 from .workflow import QueryResult, QueryStatus, QueryWorkflow
 
 __all__ = [
+    "AsyncBroadbandQueryTool",
+    "AsyncBrowser",
     "BroadbandQueryTool",
     "DomNode",
     "Selector",

@@ -1,0 +1,208 @@
+"""The asyncio BQT client stack.
+
+Coroutine counterparts of :class:`~repro.core.webdriver.Browser` and
+:class:`~repro.core.bqt.BroadbandQueryTool`, driving the exact same
+sans-I/O :func:`~repro.core.workflow.query_plan` the synchronous engine
+runs.  Every template decision, form serialization and cookie behaviour is
+shared code; the only difference is that page fetches ``await`` an
+:class:`~repro.net.aio.AsyncTransport` instead of blocking a thread — so
+hundreds of in-flight BQT sessions cost one event loop, not one OS thread
+each.
+"""
+
+from __future__ import annotations
+
+from ..errors import BqtError
+from ..isp.providers import get_isp
+from ..net.aio import AsyncTransport
+from ..net.clock import Clock, VirtualClock
+from ..net.cookies import CookieJar
+from ..net.http import HttpRequest
+from .dom import DomNode, parse_html
+from .webdriver import PageLoad, build_form_request
+from .workflow import Navigate, Page, QueryOutcome, QueryResult, query_plan
+
+__all__ = ["AsyncBrowser", "AsyncBroadbandQueryTool", "run_worker_batch"]
+
+
+class AsyncBrowser:
+    """One browsing session on an async transport (coroutine Browser).
+
+    State surface matches the synchronous browser — cookie jar, current
+    document/markup/status, page-load history on the session clock — so
+    code written against either reads identically.
+    """
+
+    def __init__(
+        self,
+        transport: AsyncTransport,
+        client_ip: str,
+        clock: Clock | None = None,
+    ) -> None:
+        self._transport = transport
+        self.client_ip = client_ip
+        self.clock: Clock = clock if clock is not None else VirtualClock()
+        self._jar = CookieJar()
+        self.host: str | None = None
+        self.document: DomNode | None = None
+        self.markup: str = ""
+        self.status: int = 0
+        self.history: list[PageLoad] = []
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    async def _fetch(self, request: HttpRequest, host: str) -> DomNode:
+        self._jar.apply(host, request)
+        started = self.clock.now()
+        response = await self._transport.send(
+            request, host, self.client_ip, self.clock
+        )
+        elapsed = self.clock.now() - started
+        self._jar.update_from_response(host, response)
+        self.host = host
+        self.markup = response.text()
+        self.status = response.status
+        self.document = parse_html(self.markup)
+        self.history.append(
+            PageLoad(host=host, path=request.path, status=response.status,
+                     elapsed_seconds=elapsed)
+        )
+        return self.document
+
+    async def get(self, host: str, path: str = "/") -> DomNode:
+        """Navigate to a page."""
+        return await self._fetch(HttpRequest.get(path), host)
+
+    async def submit_form(
+        self,
+        form_selector: str,
+        fields: dict[str, str] | None = None,
+        extra: dict[str, str] | None = None,
+    ) -> DomNode:
+        """Fill and submit a form on the current page."""
+        if self.document is None or self.host is None:
+            raise BqtError("no page loaded; call get() first")
+        request = build_form_request(
+            self.document, self.history[-1].path, form_selector, fields, extra
+        )
+        return await self._fetch(request, self.host)
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+    def reset_session(self) -> None:
+        """Drop cookies and history — a fresh browser profile."""
+        self._jar.clear()
+        self.document = None
+        self.markup = ""
+        self.status = 0
+        self.host = None
+        self.history.clear()
+
+    def session_elapsed(self) -> float:
+        """Total fetch time accumulated in this session's history."""
+        return sum(load.elapsed_seconds for load in self.history)
+
+    def cookies_for(self, host: str) -> dict[str, str]:
+        return self._jar.cookies_for(host)
+
+
+class AsyncBroadbandQueryTool:
+    """One BQT client as a coroutine (one session, one exit IP).
+
+    Mirrors :class:`~repro.core.bqt.BroadbandQueryTool` — politeness
+    pauses, per-session clock, query counting — but ``query`` is
+    awaitable and runs the shared :func:`query_plan` generator against an
+    :class:`AsyncBrowser`.
+    """
+
+    def __init__(
+        self,
+        transport: AsyncTransport,
+        client_ip: str = "203.0.113.1",
+        seed: int = 0,
+        clock: Clock | None = None,
+        politeness_seconds: float = 5.0,
+    ) -> None:
+        self._browser = AsyncBrowser(
+            transport, client_ip, clock if clock is not None else VirtualClock()
+        )
+        self._seed = seed
+        self.politeness_seconds = politeness_seconds
+        self._queries_run = 0
+
+    @property
+    def clock(self) -> Clock:
+        return self._browser.clock
+
+    @property
+    def client_ip(self) -> str:
+        return self._browser.client_ip
+
+    @property
+    def queries_run(self) -> int:
+        return self._queries_run
+
+    async def query(
+        self, isp_name: str, street_line: str, zip_code: str
+    ) -> QueryResult:
+        """Query one ISP for the plans offered at one street address."""
+        if not street_line.strip():
+            raise BqtError("street_line must be non-empty")
+        host = get_isp(isp_name).bat_hostname
+        if self._queries_run > 0 and self.politeness_seconds > 0:
+            self._browser.clock.sleep(self.politeness_seconds)
+        self._queries_run += 1
+
+        browser = self._browser
+        browser.reset_session()
+        started = browser.clock.now()
+        plan = query_plan(host, street_line, zip_code)
+        command = next(plan)
+        while True:
+            if isinstance(command, Navigate):
+                await browser.get(command.host, command.path)
+            else:
+                await browser.submit_form(
+                    command.selector,
+                    fields=command.fields or None,
+                    extra=command.extra or None,
+                )
+            try:
+                command = plan.send(Page(browser.document, browser.markup))
+            except StopIteration as stop:
+                outcome: QueryOutcome = stop.value
+                break
+        return QueryResult(
+            isp=isp_name,
+            input_line=street_line,
+            input_zip=zip_code,
+            status=outcome.status,
+            plans=outcome.plans,
+            elapsed_seconds=browser.clock.now() - started,
+            steps=outcome.steps,
+            resolved_line=outcome.resolved_line,
+        )
+
+
+async def run_worker_batch(batch) -> tuple[tuple[QueryResult, ...], float]:
+    """Run one fleet worker's task slice as a coroutine.
+
+    ``batch`` is a :class:`~repro.core.orchestrator._WorkerBatch` (taken
+    duck-typed to keep this module free of orchestrator imports).  Queries
+    within the slice stay strictly sequential — exactly like a real
+    container — so all overlap comes from sibling workers sharing the
+    event loop, which is also what keeps results byte-identical to the
+    serial engine.
+    """
+    worker = AsyncBroadbandQueryTool(
+        batch.transport,
+        client_ip=batch.client_ip,
+        seed=batch.seed,
+        politeness_seconds=batch.politeness_seconds,
+    )
+    results = []
+    for isp, line, zip_code in batch.tasks:
+        results.append(await worker.query(isp, line, zip_code))
+    return tuple(results), worker.clock.now()

@@ -20,6 +20,12 @@ Two execution modes exist:
   real-TCP transport, where servers honor render delays with real sleeps,
   the thread and process backends overlap that blocking time and deliver
   genuine wall-clock speedup; results always come back in task order.
+
+The batched mode has an **async flavour**: an
+:class:`~repro.net.aio.AsyncTransport` plus the ``"async"`` executor runs
+every worker slice as a coroutine on one event loop — the whole fleet
+shares keep-alive connections and zero extra threads, which is the
+fastest engine on the real-TCP path (``benchmarks/test_async_scaling.py``).
 """
 
 from __future__ import annotations
@@ -31,9 +37,11 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..exec.base import Executor, resolve_executor
+from ..net.aio import AsyncTransport
 from ..net.proxy import ResidentialProxyPool
 from ..net.transport import InProcessTransport, Transport
 from ..seeding import derive_seed
+from .aio import run_worker_batch as _run_worker_batch_async
 from .bqt import BroadbandQueryTool
 from .workflow import QueryResult
 
@@ -77,7 +85,7 @@ class _WorkerBatch:
     """One worker's round-robin slice, self-contained and picklable
     (provided the transport itself pickles, e.g. the TCP transport)."""
 
-    transport: Transport
+    transport: Transport | AsyncTransport
     client_ip: str
     seed: int
     politeness_seconds: float
@@ -119,7 +127,7 @@ class ContainerFleet:
 
     def __init__(
         self,
-        transport: Transport,
+        transport: Transport | AsyncTransport,
         n_workers: int,
         seed: int = 0,
         proxy_pool: ResidentialProxyPool | None = None,
@@ -157,6 +165,24 @@ class ContainerFleet:
         Results are always returned in task order, whichever execution
         mode runs them.
         """
+        if isinstance(self._transport, AsyncTransport) and (
+            self.executor is None or self.executor.name != "async"
+        ):
+            raise ConfigurationError(
+                "an async transport can only be driven by the async "
+                "executor backend (ContainerFleet(..., executor='async'))"
+            )
+        if (
+            self.executor is not None
+            and self.executor.name == "async"
+            and not isinstance(self._transport, AsyncTransport)
+        ):
+            raise ConfigurationError(
+                "the async executor drives the fleet only over an async "
+                "transport (repro.net.aio.AsyncTcpTransport); on a "
+                "blocking transport its worker batches cannot await and "
+                "would silently serialize — use the thread backend there"
+            )
         if self.executor is not None and self.executor.name != "serial":
             if isinstance(self._transport, InProcessTransport) and (
                 self.executor.name == "process"
@@ -227,7 +253,15 @@ class ContainerFleet:
             )
             for worker_index, ip in enumerate(leased)
         ]
-        outcomes = self.executor.map(_run_worker_batch, batches)
+        if (
+            self.executor.name == "async"
+            and isinstance(self._transport, AsyncTransport)
+        ):
+            # Every worker slice becomes one coroutine; the whole fleet
+            # shares one event loop and the transport's keep-alive pool.
+            outcomes = self.executor.map(_run_worker_batch_async, batches)
+        else:
+            outcomes = self.executor.map(_run_worker_batch, batches)
 
         # Interleave the per-worker result streams back into task order.
         results: list[QueryResult | None] = [None] * len(tasks)

@@ -23,7 +23,7 @@ from ..net.http import HttpRequest
 from ..net.transport import Transport
 from .dom import DomNode, parse_html
 
-__all__ = ["Browser", "PageLoad"]
+__all__ = ["Browser", "PageLoad", "build_form_request"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,36 @@ class PageLoad:
     path: str
     status: int
     elapsed_seconds: float
+
+
+def build_form_request(
+    document: DomNode,
+    fallback_path: str,
+    form_selector: str,
+    fields: dict[str, str] | None = None,
+    extra: dict[str, str] | None = None,
+) -> HttpRequest:
+    """Build the request a form submission produces (pure DOM -> HTTP).
+
+    Shared by the synchronous :class:`Browser` and the asyncio browser in
+    :mod:`repro.core.aio`, so both engines serialize form submissions
+    identically.  ``fields`` override the form's default values by field
+    name; ``extra`` adds submit-button name/value pairs.
+    """
+    form = document.select_one(form_selector)
+    if form is None:
+        raise BqtError(f"no form matches selector {form_selector!r}")
+    action = form.attr("action") or fallback_path
+    method = (form.attr("method") or "get").upper()
+    values = form.form_fields()
+    for name, value in (fields or {}).items():
+        values[name] = value
+    for name, value in (extra or {}).items():
+        values[name] = value
+    if method == "POST":
+        return HttpRequest.form_post(action, values)
+    query = "&".join(f"{k}={v}" for k, v in values.items())
+    return HttpRequest.get(f"{action}?{query}" if query else action)
 
 
 class Browser:
@@ -92,21 +122,9 @@ class Browser:
         """
         if self.document is None or self.host is None:
             raise BqtError("no page loaded; call get() first")
-        form = self.document.select_one(form_selector)
-        if form is None:
-            raise BqtError(f"no form matches selector {form_selector!r}")
-        action = form.attr("action") or self.history[-1].path
-        method = (form.attr("method") or "get").upper()
-        values = form.form_fields()
-        for name, value in (fields or {}).items():
-            values[name] = value
-        for name, value in (extra or {}).items():
-            values[name] = value
-        if method == "POST":
-            request = HttpRequest.form_post(action, values)
-        else:
-            query = "&".join(f"{k}={v}" for k, v in values.items())
-            request = HttpRequest.get(f"{action}?{query}" if query else action)
+        request = build_form_request(
+            self.document, self.history[-1].path, form_selector, fields, extra
+        )
         return self._fetch(request, self.host)
 
     def select_and_submit(

@@ -316,8 +316,9 @@ class CurationPipeline:
         config: Pipeline knobs (sampling, fleet size, politeness, salt).
         executor: Execution backend for (city, ISP) shards — an
             :class:`~repro.exec.Executor`, a backend name (``"serial"``,
-            ``"thread"``, ``"process"``), or None for serial.  Every
-            backend produces the same dataset, byte for byte.
+            ``"thread"``, ``"process"``, ``"async"``), or None for
+            serial.  Every backend produces the same dataset, byte for
+            byte.
         cache: Optional :class:`~repro.exec.QueryResultCache`; shards whose
             content-addressed keys are fully present are served from it
             without replaying any queries.
@@ -516,13 +517,26 @@ class CurationPipeline:
             finally:
                 for memo_key in seeded:
                     _CITY_WORLD_MEMO.pop(memo_key, None)
-        return self.executor.map(
-            lambda plan: _shard_observations(
+        def run_plan(plan: _ShardPlan) -> tuple[AddressObservation, ...]:
+            return _shard_observations(
                 world_config,
                 plan.city_world,
                 plan.isp,
                 self.config,
                 tasks=list(plan.tasks) if plan.tasks is not None else None,
-            ),
-            plans,
-        )
+            )
+
+        if self.executor.name == "async":
+            # Whole (city, ISP) shards become coroutines on one event
+            # loop, bounded by the executor's semaphore.  Shard work on
+            # the in-process transport is CPU-bound, so this is about
+            # protocol coverage and determinism (the parity suite), not
+            # speed — the async wall-clock win lives on the fleet's
+            # real-TCP path, where page fetches actually await.
+            async def run_plan_async(
+                plan: _ShardPlan,
+            ) -> tuple[AddressObservation, ...]:
+                return run_plan(plan)
+
+            return self.executor.map(run_plan_async, plans)
+        return self.executor.map(run_plan, plans)

@@ -2,10 +2,11 @@
 
 The curation pipeline and the container fleet dispatch independent units
 of work (city/ISP shards, per-worker query batches) through an
-:class:`~repro.exec.base.Executor`.  Three interchangeable backends exist
-— serial, thread pool, process pool — and because every dispatched unit
-is a pure function of configuration and derived seeds, all three produce
-byte-identical datasets; only wall-clock time differs.
+:class:`~repro.exec.base.Executor`.  Four interchangeable backends exist
+— serial, thread pool, process pool, and an asyncio coroutine fleet — and
+because every dispatched unit is a pure function of configuration and
+derived seeds, all four produce byte-identical datasets; only wall-clock
+time differs.
 
 :class:`~repro.exec.cache.QueryResultCache` complements the executors: it
 remembers finished shard results under content-addressed keys so repeated
@@ -15,6 +16,7 @@ shards persist across processes and CI runs, with atomic writes, versioned
 serialization, and LRU eviction under a byte cap.
 """
 
+from .aio import DEFAULT_ASYNC_CONCURRENCY, AsyncExecutor
 from .base import (
     EXECUTOR_BACKENDS,
     Executor,
@@ -46,6 +48,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "AsyncExecutor",
+    "DEFAULT_ASYNC_CONCURRENCY",
     "CacheStats",
     "QueryResultCache",
     "address_cache_key",

@@ -14,7 +14,12 @@ implement it:
 * :class:`~repro.exec.processes.ProcessPoolBackend` — a
   :class:`concurrent.futures.ProcessPoolExecutor`; sidesteps the GIL for
   CPU-bound work on multi-core hosts.  Work functions and items must be
-  picklable.
+  picklable;
+* :class:`~repro.exec.aio.AsyncExecutor` — a semaphore-bounded coroutine
+  fleet on one asyncio event loop; the cheapest way to overlap thousands
+  of I/O-bound work items (the async-TCP query path).  Coroutine work
+  functions run concurrently; synchronous ones degrade to an in-order
+  loop.
 
 Because the parallel unit everywhere in the library is a *deterministic
 shard* (a pure function of configuration and derived seed), the choice of
@@ -63,7 +68,8 @@ def default_max_workers() -> int:
 class Executor(ABC):
     """Order-preserving batch executor over independent work items."""
 
-    #: Registry key of the backend (``"serial"``, ``"thread"``, ``"process"``).
+    #: Registry key of the backend (``"serial"``, ``"thread"``,
+    #: ``"process"``, ``"async"``).
     name: str = "abstract"
 
     @abstractmethod
@@ -85,6 +91,7 @@ class Executor(ABC):
 def _backend_factories() -> dict[str, Callable[..., Executor]]:
     # Imported lazily so ``base`` has no import-time dependency on the
     # concrete backends (which import ``base`` themselves).
+    from .aio import AsyncExecutor
     from .processes import ProcessPoolBackend
     from .serial import SerialExecutor
     from .threads import ThreadPoolBackend
@@ -93,12 +100,13 @@ def _backend_factories() -> dict[str, Callable[..., Executor]]:
         "serial": SerialExecutor,
         "thread": ThreadPoolBackend,
         "process": ProcessPoolBackend,
+        "async": AsyncExecutor,
     }
 
 
 #: Names accepted by :func:`resolve_executor` (and the ``--backend`` CLI
 #: flags / ``REPRO_EXEC_BACKEND`` environment variable).
-EXECUTOR_BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+EXECUTOR_BACKENDS: tuple[str, ...] = ("serial", "thread", "process", "async")
 
 
 def resolve_executor(

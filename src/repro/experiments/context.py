@@ -149,8 +149,9 @@ def get_context(
             the paper uses 30 — benches default lower to bound runtime).
         cities: Restrict to a subset of cities (tests); None = all thirty.
         backend: Curation execution backend name (``"serial"``,
-            ``"thread"``, ``"process"``; None = ``REPRO_EXEC_BACKEND`` or
-            serial).  Every backend yields the identical dataset.
+            ``"thread"``, ``"process"``, ``"async"``; None =
+            ``REPRO_EXEC_BACKEND`` or serial).  Every backend yields the
+            identical dataset.
         cache_dir: On-disk cache root for the shared result cache (None =
             ``REPRO_CACHE_DIR`` or memory-only).
         use_cache: False disables the query-result cache entirely for

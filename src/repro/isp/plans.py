@@ -16,6 +16,7 @@ speed carried per dollar of monthly price (Section 1: 100 Mbps at $50 is
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 from ..errors import IspError
 
@@ -185,6 +186,10 @@ PLAN_CATALOGS: dict[str, tuple[Plan, ...]] = {
 }
 
 
+# Memoized: the catalogs are immutable module constants consulted on
+# every offer resolution, so the dict probe + error handling is pure
+# overhead after the first call per ISP.
+@lru_cache(maxsize=None)
 def catalog_for(isp_name: str) -> tuple[Plan, ...]:
     """The full national plan catalog of one ISP."""
     try:
@@ -193,9 +198,11 @@ def catalog_for(isp_name: str) -> tuple[Plan, ...]:
         raise IspError(f"no plan catalog for ISP {isp_name!r}") from None
 
 
+@lru_cache(maxsize=None)
 def dsl_plans(isp_name: str) -> tuple[Plan, ...]:
     return tuple(p for p in catalog_for(isp_name) if p.technology == TECH_DSL)
 
 
+@lru_cache(maxsize=None)
 def fiber_plans(isp_name: str) -> tuple[Plan, ...]:
     return tuple(p for p in catalog_for(isp_name) if p.technology == TECH_FIBER)

@@ -1,14 +1,25 @@
 """Simulated network substrate: HTTP, clocks, transports, cookies, proxies."""
 
+from .aio import AsyncTcpBatServer, AsyncTcpTransport, AsyncTransport
 from .clock import Clock, RealClock, VirtualClock
 from .cookies import CookieJar, parse_set_cookie
-from .http import HttpRequest, HttpResponse, decode_form, encode_form
+from .http import (
+    HttpRequest,
+    HttpResponse,
+    decode_form,
+    encode_form,
+    frame_http_message,
+)
 from .latency import LatencyModel
 from .proxy import ResidentialProxyPool
 from .tcp import TcpBatServer, TcpTransport
 from .transport import RENDER_HEADER, BatServerApp, InProcessTransport, Transport
 
 __all__ = [
+    "AsyncTransport",
+    "AsyncTcpTransport",
+    "AsyncTcpBatServer",
+    "frame_http_message",
     "Clock",
     "RealClock",
     "VirtualClock",

@@ -1,0 +1,447 @@
+"""Asyncio transport and server: the event-loop query path.
+
+The thread-per-request TCP path burns one OS thread and one fresh socket
+per in-flight query; both costs are pure overhead when thousands of BQT
+sessions spend their time waiting on BAT page renders.  This module
+removes them:
+
+* :class:`AsyncTcpTransport` — the client side as coroutines, with a
+  per-host **keep-alive connection pool** (bounded, LIFO reuse).  A
+  request parks its connection after the response instead of closing it,
+  so a worker's whole query session rides one socket.  Framing is the
+  shared sans-I/O :func:`~repro.net.http.frame_http_message`, which
+  carries over-read bytes into the next message instead of dropping them
+  — the property that makes keep-alive (and pipelined responses) safe.
+* :class:`AsyncTcpBatServer` — the same :class:`BatServerApp` objects
+  behind :func:`asyncio.start_server`: one event loop replaces the
+  thread-per-connection accept loop, and render delays are honored with
+  ``await asyncio.sleep`` so a sleeping request costs no thread.
+
+Both ends speak byte-identical HTTP/1.1 to their threaded counterparts in
+:mod:`repro.net.tcp`; sync clients interoperate with the async server and
+vice versa (integration-tested).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from abc import ABC, abstractmethod
+
+from ..errors import TransportError
+from .clock import Clock
+from .http import HttpRequest, HttpResponse, frame_http_message
+from .transport import RENDER_HEADER, BatServerApp
+
+__all__ = ["AsyncTransport", "AsyncTcpTransport", "AsyncTcpBatServer"]
+
+_RECV_CHUNK = 65536
+
+
+class AsyncTransport(ABC):
+    """Coroutine flavour of :class:`~repro.net.transport.Transport`.
+
+    Same contract — deliver a request, account the full round trip on the
+    caller's clock — but ``send`` is awaitable, so hundreds of in-flight
+    queries share one event loop instead of holding one thread each.
+    """
+
+    @abstractmethod
+    async def send(
+        self,
+        request: HttpRequest,
+        host: str,
+        client_ip: str,
+        clock: Clock,
+    ) -> HttpResponse:
+        """Deliver ``request`` to ``host`` from ``client_ip``."""
+
+    @abstractmethod
+    def knows_host(self, host: str) -> bool:
+        """Whether this transport can route to ``host``."""
+
+
+class _AioConn:
+    """One pooled connection: stream pair plus its over-read remainder."""
+
+    __slots__ = ("reader", "writer", "buffer")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.buffer = b""
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+
+
+class AsyncTcpTransport(AsyncTransport):
+    """HTTP/1.1 over asyncio streams with per-host keep-alive pooling.
+
+    Args:
+        routes: hostname -> (ip, port) listener addresses.
+        timeout: Per-I/O-operation timeout in seconds.
+        max_connections_per_host: Bound on *concurrent* connections to one
+            host (a semaphore; excess senders queue on the loop).
+        max_idle_per_host: Bound on *parked* idle connections per host;
+            reuse is LIFO so the warmest socket is handed out first.
+
+    The pool belongs to one event loop.  A transport that outlives a loop
+    (the fleet calls ``asyncio.run`` per campaign) detects the new loop on
+    first use and starts with a cold pool — parked sockets from a dead
+    loop are discarded, never reused.
+    """
+
+    def __init__(
+        self,
+        routes: dict[str, tuple[str, int]],
+        timeout: float = 10.0,
+        max_connections_per_host: int = 64,
+        max_idle_per_host: int = 64,
+    ) -> None:
+        self._routes = dict(routes)
+        self._timeout = timeout
+        self.max_connections_per_host = max_connections_per_host
+        self.max_idle_per_host = max_idle_per_host
+        self._idle: dict[str, list[_AioConn]] = {}
+        self._gates: dict[str, asyncio.Semaphore] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        # Diagnostics: how many sends were served off a parked connection
+        # vs. a fresh dial (the keep-alive win, observable in tests).
+        self.connections_opened = 0
+        self.connections_reused = 0
+
+    def knows_host(self, host: str) -> bool:
+        return host in self._routes
+
+    def add_route(self, host: str, address: tuple[str, int]) -> None:
+        self._routes[host] = address
+
+    # ------------------------------------------------------------------
+    # Pool plumbing
+    # ------------------------------------------------------------------
+    def _ensure_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            for pool in self._idle.values():
+                for conn in pool:
+                    conn.close()
+            self._idle = {}
+            self._gates = {}
+            self._loop = loop
+
+    def _gate(self, host: str) -> asyncio.Semaphore:
+        gate = self._gates.get(host)
+        if gate is None:
+            gate = asyncio.Semaphore(self.max_connections_per_host)
+            self._gates[host] = gate
+        return gate
+
+    def _checkout(self, host: str) -> _AioConn | None:
+        pool = self._idle.get(host)
+        if pool:
+            return pool.pop()  # LIFO: warmest socket first
+        return None
+
+    def _checkin(self, host: str, conn: _AioConn) -> None:
+        pool = self._idle.setdefault(host, [])
+        if len(pool) < self.max_idle_per_host:
+            pool.append(conn)
+        else:
+            conn.close()
+
+    async def _dial(self, host: str, address: tuple[str, int]) -> _AioConn:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*address), self._timeout
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise TransportError(f"connection to {host} failed: {exc}") from exc
+        self.connections_opened += 1
+        return _AioConn(reader, writer)
+
+    async def _roundtrip(
+        self, conn: _AioConn, payload: bytes
+    ) -> tuple[bytes, bytes]:
+        """Send one request and read its framed response.
+
+        Mirrors the sync transport's retry contract: ``(b"", b"")`` only
+        when the connection died *before the server can have handled the
+        request* (send-phase error, or EOF/reset with zero response
+        bytes) — safe to retry on a fresh connection.  Timeouts and
+        truncation after response bytes arrived raise instead; resending
+        then would double-mutate server state.
+        """
+        try:
+            conn.writer.write(payload)
+            await conn.writer.drain()
+        except OSError:
+            return b"", b""  # request never fully left: retryable
+        buffer = conn.buffer
+        responded = False
+        while True:
+            framed = frame_http_message(buffer)
+            if framed is not None:
+                return framed
+            try:
+                chunk = await asyncio.wait_for(
+                    conn.reader.read(_RECV_CHUNK), self._timeout
+                )
+            except asyncio.TimeoutError as exc:
+                raise TransportError(
+                    f"timed out waiting for a response: {exc}"
+                ) from exc
+            except OSError as exc:
+                if responded or buffer:
+                    raise TransportError(
+                        f"connection lost mid-response: {exc}"
+                    ) from exc
+                return b"", b""  # closed before responding: retryable
+            if not chunk:
+                if buffer:
+                    raise TransportError(
+                        "truncated response (connection closed mid-message)"
+                    )
+                return b"", b""  # clean close before responding: retryable
+            responded = True
+            buffer += chunk
+
+    async def close(self) -> None:
+        """Close every parked idle connection."""
+        pools, self._idle = self._idle, {}
+        for pool in pools.values():
+            for conn in pool:
+                conn.close()
+
+    # ------------------------------------------------------------------
+    # Send
+    # ------------------------------------------------------------------
+    async def send(
+        self,
+        request: HttpRequest,
+        host: str,
+        client_ip: str,
+        clock: Clock,
+    ) -> HttpResponse:
+        try:
+            address = self._routes[host]
+        except KeyError:
+            raise TransportError(f"no route to host {host!r}") from None
+        self._ensure_loop()
+        request.set_header("X-Forwarded-For", client_ip)
+        request.set_header("Connection", "keep-alive")
+        payload = request.to_bytes(host)
+        started = clock.now()
+
+        async with self._gate(host):
+            conn = self._checkout(host)
+            reused = conn is not None
+            if conn is None:
+                conn = await self._dial(host, address)
+            else:
+                self.connections_reused += 1
+            try:
+                raw, leftover = await self._roundtrip(conn, payload)
+                if not raw and reused:
+                    # The parked socket was stale (server closed it
+                    # between requests, before this request was
+                    # handled); retry exactly once, fresh.
+                    conn.close()
+                    conn = await self._dial(host, address)
+                    raw, leftover = await self._roundtrip(conn, payload)
+            except TransportError:
+                conn.close()
+                raise
+            if not raw:
+                conn.close()
+                raise TransportError(f"empty response from {host}")
+            response = HttpResponse.from_bytes(raw)
+            conn.buffer = leftover
+            if (response.header("Connection") or "").lower() == "keep-alive":
+                self._checkin(host, conn)
+            else:
+                conn.close()
+
+        # RealClock advances by itself; VirtualClock callers need a nudge
+        # so elapsed-time accounting works on either clock type.
+        if clock.now() == started:
+            clock.sleep(1e-6)
+        return response
+
+
+class AsyncTcpBatServer:
+    """One BAT application behind :func:`asyncio.start_server`.
+
+    Drop-in replacement for :class:`~repro.net.tcp.TcpBatServer` — same
+    ``start()``/``stop()``/context-manager surface, same framing, same
+    per-request global virtual-time counter — but connections are served
+    as coroutines on a single event loop (hosted on one daemon thread),
+    and render delays sleep on the loop instead of blocking a thread.
+    Keep-alive clients hold their connection across requests; one-shot
+    ``Connection: close`` clients (the default sync transport) get the
+    classic behaviour.
+    """
+
+    def __init__(
+        self,
+        app: BatServerApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        time_scale: float = 0.0,
+    ) -> None:
+        self._app = app
+        self._host = host
+        self._port = port
+        self._time_scale = time_scale
+        self._address: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._virtual_now = 0.0
+        self._startup_error: BaseException | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise TransportError("server not started")
+        return self._address
+
+    @property
+    def hostname(self) -> str:
+        return self._app.hostname
+
+    # ------------------------------------------------------------------
+    # Sync facade (mirrors TcpBatServer)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._ready.clear()
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            name=f"aio-bat-{self._app.hostname}",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise TransportError("async BAT server failed to start")
+        if self._startup_error is not None:
+            raise TransportError(
+                f"async BAT server failed to start: {self._startup_error}"
+            )
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "AsyncTcpBatServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._startup_error = exc
+            self._ready.set()
+
+    # ------------------------------------------------------------------
+    # Event-loop side
+    # ------------------------------------------------------------------
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+        self._address = server.sockets[0].getsockname()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._tasks):
+                task.cancel()
+            if self._tasks:
+                await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        buffer = b""
+        while True:
+            try:
+                framed = frame_http_message(buffer)
+                while framed is None:
+                    chunk = await reader.read(_RECV_CHUNK)
+                    if not chunk:
+                        return
+                    buffer += chunk
+                    framed = frame_http_message(buffer)
+                raw, buffer = framed
+                request = HttpRequest.from_bytes(raw)
+                client_ip = request.header("X-Forwarded-For") or peer[0]
+                # The loop serializes handle() calls exactly like the
+                # threaded server's clock lock did; the render sleep below
+                # is where concurrent clients overlap.
+                self._virtual_now += 1.0
+                response = self._app.handle(request, client_ip, self._virtual_now)
+                render_value = response.header(RENDER_HEADER)
+                response.headers.pop(RENDER_HEADER, None)
+                if render_value and self._time_scale > 0:
+                    await asyncio.sleep(float(render_value) * self._time_scale)
+                keep_alive = (
+                    (request.header("Connection") or "").lower() == "keep-alive"
+                )
+                response.set_header(
+                    "Connection", "keep-alive" if keep_alive else "close"
+                )
+                writer.write(response.to_bytes())
+                await writer.drain()
+                if not keep_alive:
+                    return
+            except (TransportError, ValueError) as exc:
+                error = HttpResponse.html(
+                    f"<html><body>bad request: {exc}</body></html>", 400
+                )
+                try:
+                    writer.write(error.to_bytes())
+                    await writer.drain()
+                except OSError:
+                    pass
+                return
+            except (OSError, ConnectionError):
+                return

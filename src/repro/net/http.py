@@ -22,6 +22,8 @@ __all__ = [
     "HttpResponse",
     "encode_form",
     "decode_form",
+    "frame_http_message",
+    "message_content_length",
     "STATUS_REASONS",
 ]
 
@@ -59,6 +61,56 @@ def decode_form(body: bytes) -> dict[str, str]:
 
 def _canonical_header(name: str) -> str:
     return "-".join(part.capitalize() for part in name.split("-"))
+
+
+# ----------------------------------------------------------------------
+# Sans-I/O Content-Length framing
+# ----------------------------------------------------------------------
+# One framing implementation serves all four endpoints — the threaded
+# server/transport in repro.net.tcp and the asyncio server/transport in
+# repro.net.aio — so keep-alive and pipelined connections split messages
+# identically everywhere.
+
+
+def message_content_length(head: bytes) -> int:
+    """Extract the Content-Length of a message given its header block.
+
+    ``head`` is everything before the blank line (request/status line plus
+    header lines, CRLF-separated).  Missing Content-Length means an empty
+    body (the only bodies our HTTP subset carries are explicitly framed).
+    """
+    content_length = 0
+    for line in head.split(_CRLF)[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise TransportError(f"bad Content-Length: {value!r}") from exc
+            if content_length < 0:
+                raise TransportError(f"bad Content-Length: {value!r}")
+    return content_length
+
+
+def frame_http_message(buffer: bytes) -> tuple[bytes, bytes] | None:
+    """Split one complete framed message off the front of ``buffer``.
+
+    Returns ``(message, remainder)`` when the buffer holds at least one
+    complete header block plus Content-Length body, or None when more
+    bytes are needed.  The remainder — bytes past the body that belong to
+    the *next* message on a keep-alive/pipelined connection — is never
+    discarded; callers must carry it into the next framing call.
+    """
+    head, separator, rest = buffer.partition(_CRLF * 2)
+    if not separator:
+        if len(buffer) > _MAX_HEADER_BYTES:
+            raise TransportError("header block exceeds 64 KiB")
+        return None
+    content_length = message_content_length(head)
+    if len(rest) < content_length:
+        return None
+    body, remainder = rest[:content_length], rest[content_length:]
+    return head + _CRLF * 2 + body, remainder
 
 
 @dataclass

@@ -17,40 +17,34 @@ import threading
 
 from ..errors import TransportError
 from .clock import Clock
-from .http import HttpRequest, HttpResponse
+from .http import HttpRequest, HttpResponse, frame_http_message
 from .transport import RENDER_HEADER, BatServerApp, Transport
 
 __all__ = ["TcpBatServer", "TcpTransport"]
 
 _RECV_CHUNK = 65536
-_HEADER_END = b"\r\n\r\n"
 
 
-def _read_http_message(conn: socket.socket) -> bytes:
-    """Read one Content-Length-framed HTTP message from a socket."""
-    data = b""
-    while _HEADER_END not in data:
+def _read_http_message(
+    conn: socket.socket, buffer: bytes = b""
+) -> tuple[bytes, bytes]:
+    """Read one Content-Length-framed HTTP message from a socket.
+
+    ``buffer`` carries bytes already read past the previous message on
+    this connection (keep-alive/pipelining).  Returns ``(message,
+    remainder)``; over-read bytes are returned — never discarded — so the
+    next message on the connection starts intact.  A clean EOF with no
+    buffered bytes returns ``(b"", b"")``; an EOF mid-message returns the
+    partial bytes for the caller's parser to reject.
+    """
+    while True:
+        framed = frame_http_message(buffer)
+        if framed is not None:
+            return framed
         chunk = conn.recv(_RECV_CHUNK)
         if not chunk:
-            if not data:
-                return b""
-            break
-        data += chunk
-    head, _, rest = data.partition(_HEADER_END)
-    content_length = 0
-    for line in head.split(b"\r\n")[1:]:
-        name, _, value = line.partition(b":")
-        if name.strip().lower() == b"content-length":
-            try:
-                content_length = int(value.strip())
-            except ValueError as exc:
-                raise TransportError(f"bad Content-Length: {value!r}") from exc
-    while len(rest) < content_length:
-        chunk = conn.recv(_RECV_CHUNK)
-        if not chunk:
-            break
-        rest += chunk
-    return head + _HEADER_END + rest[:content_length]
+            return buffer, b""
+        buffer += chunk
 
 
 class TcpBatServer:
@@ -132,49 +126,198 @@ class TcpBatServer:
         import time
 
         with conn:
-            try:
-                raw = _read_http_message(conn)
-                if not raw:
-                    return
-                request = HttpRequest.from_bytes(raw)
-                # The client's residential exit IP travels in a header on
-                # the TCP path (all connections originate from localhost).
-                client_ip = request.header("X-Forwarded-For") or peer[0]
-                # BatApplication instances are single-threaded objects
-                # (session table, counters, delay RNG), so the handle()
-                # call is serialized; the render sleep below stays outside
-                # the lock, which is where parallel clients overlap.
-                with self._clock_lock:
-                    self._virtual_now += 1.0
-                    now = self._virtual_now
-                    response = self._app.handle(request, client_ip, now)
-                render_value = response.header(RENDER_HEADER)
-                response.headers.pop(RENDER_HEADER, None)
-                if render_value and self._time_scale > 0:
-                    time.sleep(float(render_value) * self._time_scale)
-                conn.sendall(response.to_bytes())
-            except (TransportError, ValueError) as exc:
-                error = HttpResponse.html(f"<html><body>bad request: {exc}</body></html>", 400)
+            buffer = b""
+            while True:
                 try:
-                    conn.sendall(error.to_bytes())
+                    raw, buffer = _read_http_message(conn, buffer)
+                    if not raw:
+                        return
+                    request = HttpRequest.from_bytes(raw)
+                    # The client's residential exit IP travels in a header on
+                    # the TCP path (all connections originate from localhost).
+                    client_ip = request.header("X-Forwarded-For") or peer[0]
+                    # BatApplication instances are single-threaded objects
+                    # (session table, counters, delay RNG), so the handle()
+                    # call is serialized; the render sleep below stays outside
+                    # the lock, which is where parallel clients overlap.
+                    with self._clock_lock:
+                        self._virtual_now += 1.0
+                        now = self._virtual_now
+                        response = self._app.handle(request, client_ip, now)
+                    render_value = response.header(RENDER_HEADER)
+                    response.headers.pop(RENDER_HEADER, None)
+                    if render_value and self._time_scale > 0:
+                        time.sleep(float(render_value) * self._time_scale)
+                    keep_alive = (
+                        (request.header("Connection") or "").lower() == "keep-alive"
+                    )
+                    response.set_header(
+                        "Connection", "keep-alive" if keep_alive else "close"
+                    )
+                    conn.sendall(response.to_bytes())
+                    if not keep_alive:
+                        return
+                except (TransportError, ValueError) as exc:
+                    error = HttpResponse.html(
+                        f"<html><body>bad request: {exc}</body></html>", 400
+                    )
+                    try:
+                        conn.sendall(error.to_bytes())
+                    except OSError:
+                        pass
+                    return
                 except OSError:
-                    pass
-            except OSError:
-                pass
+                    return
+
+
+class _PooledConn:
+    """One idle keep-alive connection plus its over-read remainder."""
+
+    __slots__ = ("sock", "buffer")
+
+    def __init__(self, sock: socket.socket, buffer: bytes = b"") -> None:
+        self.sock = sock
+        self.buffer = buffer
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
 
 class TcpTransport(Transport):
-    """Client transport speaking real HTTP/1.1 over TCP, one connection per request."""
+    """Client transport speaking real HTTP/1.1 over TCP.
 
-    def __init__(self, routes: dict[str, tuple[str, int]], timeout: float = 10.0) -> None:
+    By default every ``send`` opens a fresh connection (the original
+    one-shot behaviour).  With ``keep_alive=True`` the transport maintains
+    a per-host pool of idle connections reused LIFO — the most recently
+    parked socket is the most likely to still be warm — which removes the
+    TCP setup cost from every request after a host's first.  Responses are
+    identical either way (regression-tested); only wall-clock changes.
+
+    The pool is thread-safe (a thread-batched fleet shares one transport),
+    and pool state never pickles: a process-backend worker that inherits
+    this transport starts with an empty pool and dials its own sockets.
+    """
+
+    def __init__(
+        self,
+        routes: dict[str, tuple[str, int]],
+        timeout: float = 10.0,
+        keep_alive: bool = False,
+        max_idle_per_host: int = 8,
+    ) -> None:
         self._routes = dict(routes)
         self._timeout = timeout
+        self.keep_alive = keep_alive
+        self.max_idle_per_host = max_idle_per_host
+        self._idle: dict[str, list[_PooledConn]] = {}
+        self._lock = threading.Lock()
+
+    # Sockets and locks cannot cross pickle boundaries (process backend);
+    # a rehydrated transport simply starts with a cold pool.
+    def __getstate__(self) -> dict[str, object]:
+        state = self.__dict__.copy()
+        state["_idle"] = {}
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._idle = {}
+        self._lock = threading.Lock()
 
     def knows_host(self, host: str) -> bool:
         return host in self._routes
 
     def add_route(self, host: str, address: tuple[str, int]) -> None:
         self._routes[host] = address
+
+    def close(self) -> None:
+        """Close every pooled idle connection."""
+        with self._lock:
+            pools, self._idle = self._idle, {}
+        for pool in pools.values():
+            for conn in pool:
+                conn.close()
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _checkout(self, host: str) -> _PooledConn | None:
+        with self._lock:
+            pool = self._idle.get(host)
+            if pool:
+                return pool.pop()  # LIFO: warmest socket first
+        return None
+
+    def _checkin(self, host: str, conn: _PooledConn) -> None:
+        with self._lock:
+            pool = self._idle.setdefault(host, [])
+            if len(pool) < self.max_idle_per_host:
+                pool.append(conn)
+                return
+        conn.close()
+
+    def _dial(self, host: str, address: tuple[str, int]) -> _PooledConn:
+        try:
+            return _PooledConn(
+                socket.create_connection(address, timeout=self._timeout)
+            )
+        except OSError as exc:
+            raise TransportError(f"connection to {host} failed: {exc}") from exc
+
+    def _roundtrip(
+        self, conn: _PooledConn, payload: bytes
+    ) -> tuple[bytes, bytes]:
+        """Send one request and read its framed response.
+
+        Returns ``(b"", b"")`` only when the connection is provably dead
+        *before the server can have handled the request* — a send-phase
+        error or an EOF with zero response bytes (the server always
+        writes a response, even a 400, before closing).  Those cases are
+        safe to retry on a fresh connection.  A timeout or truncation
+        *after* the request went out means the server may have processed
+        it; resending would double-mutate server state (rate-limit
+        windows, sessions), so those raise instead.
+        """
+        try:
+            conn.sock.sendall(payload)
+        except OSError:
+            return b"", b""  # request never fully left: retryable
+        buffer = conn.buffer
+        responded = False
+        while True:
+            framed = frame_http_message(buffer)
+            if framed is not None:
+                return framed
+            try:
+                chunk = conn.sock.recv(_RECV_CHUNK)
+            except TimeoutError as exc:
+                raise TransportError(
+                    f"timed out waiting for a response: {exc}"
+                ) from exc
+            except OSError as exc:
+                if responded or buffer:
+                    raise TransportError(
+                        f"connection lost mid-response: {exc}"
+                    ) from exc
+                return b"", b""  # closed before responding: retryable
+            if not chunk:
+                if buffer:
+                    raise TransportError(
+                        "truncated response (connection closed mid-message)"
+                    )
+                return b"", b""  # clean close before responding: retryable
+            responded = True
+            buffer += chunk
 
     def send(
         self,
@@ -188,16 +331,39 @@ class TcpTransport(Transport):
         except KeyError:
             raise TransportError(f"no route to host {host!r}") from None
         request.set_header("X-Forwarded-For", client_ip)
+        if self.keep_alive:
+            request.set_header("Connection", "keep-alive")
+        payload = request.to_bytes(host)
         started = clock.now()
+
+        conn = self._checkout(host) if self.keep_alive else None
+        reused = conn is not None
+        if conn is None:
+            conn = self._dial(host, address)
         try:
-            with socket.create_connection(address, timeout=self._timeout) as conn:
-                conn.sendall(request.to_bytes(host))
-                raw = _read_http_message(conn)
-        except OSError as exc:
-            raise TransportError(f"connection to {host} failed: {exc}") from exc
+            raw, leftover = self._roundtrip(conn, payload)
+            if not raw and reused:
+                # The parked socket was stale (server-side close between
+                # requests, before this request was handled); retry
+                # exactly once on a fresh connection.
+                conn.close()
+                conn = self._dial(host, address)
+                raw, leftover = self._roundtrip(conn, payload)
+        except TransportError:
+            conn.close()
+            raise
         if not raw:
+            conn.close()
             raise TransportError(f"empty response from {host}")
         response = HttpResponse.from_bytes(raw)
+        conn.buffer = leftover
+        if (
+            self.keep_alive
+            and (response.header("Connection") or "").lower() == "keep-alive"
+        ):
+            self._checkin(host, conn)
+        else:
+            conn.close()
         # RealClock advances by itself; VirtualClock callers need a nudge so
         # elapsed-time accounting works on either clock type.
         if clock.now() == started:

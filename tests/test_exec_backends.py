@@ -1,5 +1,6 @@
 """The executor layer: backends, registry, fleet batching, and the
-determinism-parity guarantee (serial == thread == process, byte for byte).
+determinism-parity guarantee (serial == thread == process == async, byte
+for byte).
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from repro.dataset.sampling import sample_city
 from repro.errors import ConfigurationError
 from repro.exec import (
     EXECUTOR_BACKENDS,
+    AsyncExecutor,
     Executor,
     ProcessPoolBackend,
     SerialExecutor,
@@ -26,7 +28,7 @@ from repro.exec import (
     resolve_executor,
 )
 
-BACKENDS = ["serial", "thread", "process"]
+BACKENDS = ["serial", "thread", "process", "async"]
 
 
 # ----------------------------------------------------------------------
@@ -51,7 +53,7 @@ class TestExecutorContract:
             resolve_executor("cluster")
 
     def test_registry_names(self):
-        assert set(EXECUTOR_BACKENDS) == {"serial", "thread", "process"}
+        assert set(EXECUTOR_BACKENDS) == {"serial", "thread", "process", "async"}
 
     def test_default_max_workers_floor(self):
         assert default_max_workers() >= 2
@@ -62,6 +64,7 @@ class TestExecutorContract:
             SerialExecutor(),
             ThreadPoolBackend(max_workers=4),
             ProcessPoolBackend(max_workers=2),
+            AsyncExecutor(max_workers=4),
         ],
         ids=BACKENDS,
     )
@@ -71,8 +74,12 @@ class TestExecutorContract:
 
     @pytest.mark.parametrize(
         "executor",
-        [SerialExecutor(), ThreadPoolBackend(max_workers=4)],
-        ids=["serial", "thread"],
+        [
+            SerialExecutor(),
+            ThreadPoolBackend(max_workers=4),
+            AsyncExecutor(max_workers=4),
+        ],
+        ids=["serial", "thread", "async"],
     )
     def test_map_propagates_exceptions(self, executor):
         with pytest.raises(ValueError, match="item 3"):
@@ -80,7 +87,12 @@ class TestExecutorContract:
 
     @pytest.mark.parametrize(
         "executor",
-        [SerialExecutor(), ThreadPoolBackend(), ProcessPoolBackend()],
+        [
+            SerialExecutor(),
+            ThreadPoolBackend(),
+            ProcessPoolBackend(),
+            AsyncExecutor(),
+        ],
         ids=BACKENDS,
     )
     def test_map_empty(self, executor):
@@ -91,6 +103,33 @@ class TestExecutorContract:
             ThreadPoolBackend(max_workers=0)
         with pytest.raises(ConfigurationError):
             ProcessPoolBackend(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            AsyncExecutor(max_workers=0)
+
+    def test_async_map_runs_coroutines_in_item_order(self):
+        async def double(x: int) -> int:
+            return x * 2
+
+        executor = AsyncExecutor(max_workers=3)
+        assert executor.map(double, list(range(17))) == [
+            i * 2 for i in range(17)
+        ]
+
+    def test_async_map_raises_first_item_order_failure(self):
+        import asyncio
+
+        async def explode_fast_on_five(x: int) -> int:
+            # Item 5 fails *immediately*; item 3 fails after a loop tick.
+            # Item order, not completion order, must decide what raises.
+            if x == 3:
+                await asyncio.sleep(0.01)
+                raise ValueError("item 3 exploded")
+            if x == 5:
+                raise ValueError("item 5 exploded")
+            return x
+
+        with pytest.raises(ValueError, match="item 3"):
+            AsyncExecutor().map(explode_fast_on_five, list(range(6)))
 
 
 def _square(x: int) -> int:
@@ -178,7 +217,7 @@ def _curate(world, backend):
 
 
 class TestDeterminismParity:
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "async"])
     def test_backends_byte_identical(
         self, tiny_world, tiny_dataset, backend, tmp_path
     ):

@@ -34,7 +34,7 @@ class TestUploadConsistency:
 
 
 @pytest.mark.parametrize(
-    "script", ["quickstart.py", "tcp_live_scrape.py"]
+    "script", ["quickstart.py", "tcp_live_scrape.py", "async_fleet_scrape.py"]
 )
 def test_example_scripts_run(script):
     """The fast examples must run end to end as real subprocesses."""

@@ -123,3 +123,321 @@ class TestBqtOverTcp:
                 result = tool.query_address("cox", entry)
                 hits += result.is_hit
             assert hits >= 7
+
+
+# ----------------------------------------------------------------------
+# Content-Length framing (the sans-I/O core shared by every endpoint)
+# ----------------------------------------------------------------------
+class TestHttpFraming:
+    """frame_http_message: partial reads, split headers, over-read bytes."""
+
+    MESSAGE = (
+        b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello"
+    )
+
+    def test_complete_message_no_remainder(self):
+        from repro.net import frame_http_message
+
+        assert frame_http_message(self.MESSAGE) == (self.MESSAGE, b"")
+
+    def test_incomplete_header_returns_none(self):
+        from repro.net import frame_http_message
+
+        assert frame_http_message(b"HTTP/1.1 200 OK\r\nContent-Le") is None
+
+    def test_header_split_mid_terminator_returns_none(self):
+        from repro.net import frame_http_message
+
+        assert frame_http_message(self.MESSAGE[:20]) is None
+        # Byte-by-byte: no prefix of the message frames early, and the
+        # full buffer frames exactly once.
+        for cut in range(len(self.MESSAGE)):
+            assert frame_http_message(self.MESSAGE[:cut]) is None
+
+    def test_incomplete_body_returns_none(self):
+        from repro.net import frame_http_message
+
+        assert frame_http_message(self.MESSAGE[:-2]) is None
+
+    def test_overread_bytes_are_returned_not_discarded(self):
+        from repro.net import frame_http_message
+
+        next_start = b"HTTP/1.1 200 OK\r\nContent-"
+        framed = frame_http_message(self.MESSAGE + next_start)
+        assert framed == (self.MESSAGE, next_start)
+
+    def test_two_pipelined_messages_split_cleanly(self):
+        from repro.net import frame_http_message
+
+        second = b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno"
+        first, rest = frame_http_message(self.MESSAGE + second)
+        assert first == self.MESSAGE
+        assert frame_http_message(rest) == (second, b"")
+
+    def test_missing_content_length_means_empty_body(self):
+        from repro.net import frame_http_message
+
+        message = b"HTTP/1.1 200 OK\r\n\r\n"
+        assert frame_http_message(message + b"extra") == (message, b"extra")
+
+    def test_malformed_content_length_raises(self):
+        from repro.net import frame_http_message
+
+        with pytest.raises(TransportError, match="Content-Length"):
+            frame_http_message(
+                b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n"
+            )
+
+    def test_negative_content_length_raises(self):
+        from repro.net import frame_http_message
+
+        with pytest.raises(TransportError, match="Content-Length"):
+            frame_http_message(
+                b"HTTP/1.1 200 OK\r\nContent-Length: -3\r\n\r\n"
+            )
+
+    def test_oversized_header_block_raises(self):
+        from repro.net import frame_http_message
+
+        with pytest.raises(TransportError, match="64 KiB"):
+            frame_http_message(b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 70000)
+
+
+class _SocketStub:
+    """Feeds recv() from a list of chunks (b"" = EOF thereafter)."""
+
+    def __init__(self, chunks):
+        self._chunks = list(chunks)
+
+    def recv(self, _size):
+        if not self._chunks:
+            return b""
+        return self._chunks.pop(0)
+
+
+class TestReadHttpMessage:
+    """_read_http_message over fragmented sockets."""
+
+    def test_split_header_and_body_across_many_recvs(self):
+        from repro.net.tcp import _read_http_message
+
+        payload = TestHttpFraming.MESSAGE
+        sock = _SocketStub([payload[i : i + 3] for i in range(0, len(payload), 3)])
+        raw, rest = _read_http_message(sock)
+        assert raw == payload
+        assert rest == b""
+
+    def test_overread_returned_to_caller(self):
+        from repro.net.tcp import _read_http_message
+
+        second = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc"
+        sock = _SocketStub([TestHttpFraming.MESSAGE + second])
+        raw, rest = _read_http_message(sock)
+        assert raw == TestHttpFraming.MESSAGE
+        # The over-read bytes buffer into the next call — nothing lost.
+        raw2, rest2 = _read_http_message(_SocketStub([]), rest)
+        assert raw2 == second
+        assert rest2 == b""
+
+    def test_clean_eof_returns_empty(self):
+        from repro.net.tcp import _read_http_message
+
+        assert _read_http_message(_SocketStub([])) == (b"", b"")
+
+
+# ----------------------------------------------------------------------
+# Keep-alive connection reuse on the sync transport
+# ----------------------------------------------------------------------
+class TestKeepAliveTransport:
+    def test_identical_responses_with_and_without_keepalive(self, server):
+        """Regression: pooling must never change what the caller sees."""
+        fresh = TcpTransport({server.hostname: server.address})
+        pooled = TcpTransport(
+            {server.hostname: server.address}, keep_alive=True
+        )
+        try:
+            for i in range(12):
+                request_a = HttpRequest.form_post("/check", {"n": str(i)})
+                request_b = HttpRequest.form_post("/check", {"n": str(i)})
+                a = fresh.send(request_a, server.hostname, "73.9.9.9", RealClock())
+                b = pooled.send(request_b, server.hostname, "73.9.9.9", RealClock())
+                assert a.status == b.status
+                assert a.body == b.body
+        finally:
+            pooled.close()
+
+    def test_connection_actually_reused(self, server):
+        pooled = TcpTransport(
+            {server.hostname: server.address}, keep_alive=True
+        )
+        try:
+            for i in range(5):
+                pooled.send(
+                    HttpRequest.form_post("/check", {"n": str(i)}),
+                    server.hostname,
+                    "73.9.9.9",
+                    RealClock(),
+                )
+            with pooled._lock:
+                idle = pooled._idle.get(server.hostname, [])
+                assert len(idle) == 1
+                sock = idle[0].sock
+            pooled.send(
+                HttpRequest.get("/"), server.hostname, "73.9.9.9", RealClock()
+            )
+            with pooled._lock:
+                assert pooled._idle[server.hostname][0].sock is sock
+        finally:
+            pooled.close()
+
+    def test_stale_pooled_socket_retries_fresh(self, server):
+        pooled = TcpTransport(
+            {server.hostname: server.address}, keep_alive=True
+        )
+        try:
+            pooled.send(
+                HttpRequest.get("/"), server.hostname, "73.9.9.9", RealClock()
+            )
+            # Kill the parked socket behind the pool's back.
+            with pooled._lock:
+                pooled._idle[server.hostname][0].sock.close()
+            response = pooled.send(
+                HttpRequest.get("/"), server.hostname, "73.9.9.9", RealClock()
+            )
+            assert response.status == 200
+        finally:
+            pooled.close()
+
+    def test_pool_state_survives_pickling_as_empty(self, server):
+        import pickle
+
+        pooled = TcpTransport(
+            {server.hostname: server.address}, keep_alive=True
+        )
+        try:
+            pooled.send(
+                HttpRequest.get("/"), server.hostname, "73.9.9.9", RealClock()
+            )
+            clone = pickle.loads(pickle.dumps(pooled))
+            assert clone.keep_alive
+            assert clone._idle == {}
+            response = clone.send(
+                HttpRequest.get("/"), server.hostname, "73.9.9.9", RealClock()
+            )
+            assert response.status == 200
+            clone.close()
+        finally:
+            pooled.close()
+
+    def test_bqt_workflow_identical_over_keepalive(self, tiny_world):
+        """Full BQT sessions over a pooled connection match one-shot runs.
+
+        Each run gets its own freshly built BAT application: the app's
+        safeguard state (per-IP rate-limit windows) is cumulative, so
+        sharing one server across runs would block the second run no
+        matter how it connected.
+        """
+        from repro.addresses.database import AddressIndex
+        from repro.bat.app import BatApplication
+        from repro.bat.profiles import profile_for
+        from repro.core import BroadbandQueryTool
+        from repro.world import offer_resolver
+
+        city_world = tiny_world.city("new-orleans")
+        entries = city_world.book.feed[:8]
+
+        def fresh_app():
+            return BatApplication(
+                profile=profile_for("cox"),
+                index=AddressIndex(tuple(city_world.book.canonical)),
+                offers=offer_resolver({"new-orleans": city_world}, "cox"),
+                seed=tiny_world.seed,
+            )
+
+        outcomes = {}
+        for keep_alive in (False, True):
+            with TcpBatServer(fresh_app(), time_scale=0.0) as srv:
+                transport = TcpTransport(
+                    {srv.hostname: srv.address}, keep_alive=keep_alive
+                )
+                tool = BroadbandQueryTool(
+                    transport,
+                    client_ip="24.10.20.31",
+                    clock=RealClock(),
+                    politeness_seconds=0.0,
+                )
+                outcomes[keep_alive] = [
+                    (r.status, r.plans)
+                    for r in (tool.query_address("cox", e) for e in entries)
+                ]
+                transport.close()
+        assert outcomes[False] == outcomes[True]
+        assert any(status == "plans" for status, _ in outcomes[True])
+
+
+class TestTruncatedResponses:
+    """A connection lost mid-response must raise, never parse or resend."""
+
+    @staticmethod
+    def _one_shot_server(payload: bytes):
+        import socket as socketlib
+        import threading
+
+        listener = socketlib.socket(socketlib.AF_INET, socketlib.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def serve():
+            conn, _ = listener.accept()
+            with conn:
+                conn.recv(65536)
+                if payload:
+                    conn.sendall(payload)
+            listener.close()
+
+        threading.Thread(target=serve, daemon=True).start()
+        return listener.getsockname()
+
+    def test_truncated_body_raises_not_parses(self):
+        address = self._one_shot_server(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort"
+        )
+        transport = TcpTransport({"trunc.example": address})
+        with pytest.raises(TransportError, match="truncated"):
+            transport.send(
+                HttpRequest.get("/"), "trunc.example", "73.1.1.1", RealClock()
+            )
+
+    def test_split_header_then_eof_raises(self):
+        address = self._one_shot_server(b"HTTP/1.1 200 OK\r\nContent-Le")
+        transport = TcpTransport({"trunc.example": address})
+        with pytest.raises(TransportError, match="truncated"):
+            transport.send(
+                HttpRequest.get("/"), "trunc.example", "73.1.1.1", RealClock()
+            )
+
+    def test_close_without_response_raises_empty(self):
+        address = self._one_shot_server(b"")
+        transport = TcpTransport({"trunc.example": address})
+        with pytest.raises(TransportError, match="empty response"):
+            transport.send(
+                HttpRequest.get("/"), "trunc.example", "73.1.1.1", RealClock()
+            )
+
+    def test_async_truncated_body_raises(self):
+        import asyncio
+
+        from repro.net import AsyncTcpTransport
+
+        address = self._one_shot_server(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort"
+        )
+
+        async def go():
+            transport = AsyncTcpTransport({"trunc.example": address})
+            await transport.send(
+                HttpRequest.get("/"), "trunc.example", "73.1.1.1", RealClock()
+            )
+
+        with pytest.raises(TransportError, match="truncated"):
+            asyncio.run(go())
