@@ -22,6 +22,7 @@ cookie, exactly like the real sites.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -89,6 +90,13 @@ class BatApplication:
         self._sessions: dict[str, _Session] = {}
         self._session_counter = 0
         self._delay_rng = np.random.default_rng(derive_seed(self._seed, "delays"))
+        # Per-client task-scoped render-delay streams (see begin_task);
+        # clients that never announce a task draw from the shared stream.
+        self._task_delay_rngs: dict[str, np.random.Generator] = {}
+        # The client being handled on *this* thread: thread-local so the
+        # threaded TCP server's concurrent handle() calls can never bleed
+        # one client's task stream into another's renders.
+        self._active = threading.local()
 
     # ------------------------------------------------------------------
     # Transport interface
@@ -99,7 +107,20 @@ class BatApplication:
 
         return get_isp(self.profile.isp).bat_hostname
 
+    def begin_task(self, client_ip: str, *key: object) -> None:
+        """Scope one client's render-delay stream to a task's content key.
+
+        Called by :meth:`repro.net.transport.InProcessTransport.begin_task`
+        when a BQT worker starts a query, so the delays a task's renders
+        consume are a pure function of ``(app seed, key)`` rather than of
+        the task's position in the shard-wide request stream.
+        """
+        self._task_delay_rngs[client_ip] = np.random.default_rng(
+            derive_seed(self._seed, "delays", *key)
+        )
+
     def handle(self, request: HttpRequest, client_ip: str, now: float) -> HttpResponse:
+        self._active.ip = client_ip
         cookies = _request_cookies(request)
         session_id = cookies.get(SESSION_COOKIE)
         token = cookies.get(TOKEN_COOKIE)
@@ -322,9 +343,11 @@ class BatApplication:
     # Response assembly
     # ------------------------------------------------------------------
     def _render_delay(self, median: float) -> float:
-        spread = float(
-            np.exp(self.profile.render_sigma * self._delay_rng.standard_normal())
-        )
+        active_ip = getattr(self._active, "ip", None)
+        rng = self._delay_rng
+        if active_ip is not None:
+            rng = self._task_delay_rngs.get(active_ip, rng)
+        spread = float(np.exp(self.profile.render_sigma * rng.standard_normal()))
         return round(median * spread, 3)
 
     def _respond(

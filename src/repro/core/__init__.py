@@ -4,7 +4,7 @@ orchestration and microbenchmark metrics."""
 
 from .aio import AsyncBroadbandQueryTool, AsyncBrowser
 from .bqt import BroadbandQueryTool
-from .dom import DomNode, Selector, parse_html
+from .dom import DomNode, Selector, parse_html, parse_html_cached
 from .matching import (
     DEFAULT_ACCEPT_THRESHOLD,
     address_similarity,
@@ -20,7 +20,13 @@ from .metrics import (
     query_time_stats,
 )
 from .orchestrator import ContainerFleet, FleetReport
-from .parsing import ObservedPlan, parse_plans_page, parse_price, parse_speed
+from .parsing import (
+    ObservedPlan,
+    parse_plans_page,
+    parse_price,
+    parse_speed,
+    plans_from_markup,
+)
 from .templates import SIGNATURES, TemplateKind, classify_page
 from .webdriver import Browser, PageLoad
 from .workflow import QueryResult, QueryStatus, QueryWorkflow
@@ -32,6 +38,7 @@ __all__ = [
     "DomNode",
     "Selector",
     "parse_html",
+    "parse_html_cached",
     "DEFAULT_ACCEPT_THRESHOLD",
     "address_similarity",
     "best_suggestion",
@@ -46,6 +53,7 @@ __all__ = [
     "FleetReport",
     "ObservedPlan",
     "parse_plans_page",
+    "plans_from_markup",
     "parse_price",
     "parse_speed",
     "SIGNATURES",

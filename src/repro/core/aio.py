@@ -15,10 +15,10 @@ from __future__ import annotations
 from ..errors import BqtError
 from ..isp.providers import get_isp
 from ..net.aio import AsyncTransport
-from ..net.clock import Clock, VirtualClock
+from ..net.clock import Clock, VirtualClock, measure
 from ..net.cookies import CookieJar
 from ..net.http import HttpRequest
-from .dom import DomNode, parse_html
+from .dom import DomNode, parse_html_cached
 from .webdriver import PageLoad, build_form_request
 from .workflow import Navigate, Page, QueryOutcome, QueryResult, query_plan
 
@@ -54,16 +54,16 @@ class AsyncBrowser:
     # ------------------------------------------------------------------
     async def _fetch(self, request: HttpRequest, host: str) -> DomNode:
         self._jar.apply(host, request)
-        started = self.clock.now()
-        response = await self._transport.send(
-            request, host, self.client_ip, self.clock
-        )
-        elapsed = self.clock.now() - started
+        with measure(self.clock) as timer:
+            response = await self._transport.send(
+                request, host, self.client_ip, self.clock
+            )
+        elapsed = timer.seconds
         self._jar.update_from_response(host, response)
         self.host = host
         self.markup = response.text()
         self.status = response.status
-        self.document = parse_html(self.markup)
+        self.document = parse_html_cached(self.markup)
         self.history.append(
             PageLoad(host=host, path=request.path, status=response.status,
                      elapsed_seconds=elapsed)
@@ -157,30 +157,33 @@ class AsyncBroadbandQueryTool:
 
         browser = self._browser
         browser.reset_session()
-        started = browser.clock.now()
-        plan = query_plan(host, street_line, zip_code)
-        command = next(plan)
-        while True:
-            if isinstance(command, Navigate):
-                await browser.get(command.host, command.path)
-            else:
-                await browser.submit_form(
-                    command.selector,
-                    fields=command.fields or None,
-                    extra=command.extra or None,
-                )
-            try:
-                command = plan.send(Page(browser.document, browser.markup))
-            except StopIteration as stop:
-                outcome: QueryOutcome = stop.value
-                break
+        # Mirrors the sync driver: offset-free interval measurement (see
+        # repro.net.clock.measure), so both engines serialize elapsed
+        # time identically.
+        with measure(browser.clock) as timer:
+            plan = query_plan(host, street_line, zip_code)
+            command = next(plan)
+            while True:
+                if isinstance(command, Navigate):
+                    await browser.get(command.host, command.path)
+                else:
+                    await browser.submit_form(
+                        command.selector,
+                        fields=command.fields or None,
+                        extra=command.extra or None,
+                    )
+                try:
+                    command = plan.send(Page(browser.document, browser.markup))
+                except StopIteration as stop:
+                    outcome: QueryOutcome = stop.value
+                    break
         return QueryResult(
             isp=isp_name,
             input_line=street_line,
             input_zip=zip_code,
             status=outcome.status,
             plans=outcome.plans,
-            elapsed_seconds=browser.clock.now() - started,
+            elapsed_seconds=timer.seconds,
             steps=outcome.steps,
             resolved_line=outcome.resolved_line,
         )

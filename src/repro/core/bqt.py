@@ -47,6 +47,7 @@ class BroadbandQueryTool:
         clock: Clock | None = None,
         politeness_seconds: float = 5.0,
     ) -> None:
+        self._transport = transport
         self._browser = Browser(
             transport, client_ip, clock if clock is not None else VirtualClock()
         )
@@ -76,6 +77,14 @@ class BroadbandQueryTool:
         if self._queries_run > 0 and self.politeness_seconds > 0:
             self._browser.clock.sleep(self.politeness_seconds)
         self._queries_run += 1
+        # Announce the task boundary: on transports that support it (the
+        # in-process simulation), the RTT and render-delay draws this query
+        # consumes are derived from the query's content, so its observation
+        # is independent of the queries that ran before it.  That purity is
+        # what makes sub-shard chunk scheduling byte-exact.
+        begin_task = getattr(self._transport, "begin_task", None)
+        if begin_task is not None:
+            begin_task(self.client_ip, isp_name, street_line, zip_code)
         return self._workflow.run(isp_name, host, street_line, zip_code)
 
     def query_address(self, isp_name: str, address: NoisyAddress) -> QueryResult:

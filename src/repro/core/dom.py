@@ -15,11 +15,12 @@ browsers do, because real BAT markup is never pristine.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from html.parser import HTMLParser
 
 from ..errors import BqtError
 
-__all__ = ["DomNode", "parse_html", "Selector"]
+__all__ = ["DomNode", "parse_html", "parse_html_cached", "Selector"]
 
 _VOID_ELEMENTS = frozenset(
     "area base br col embed hr img input link meta param source track wbr".split()
@@ -85,7 +86,7 @@ class DomNode:
 
     def select(self, selector: str) -> list["DomNode"]:
         """All descendant elements matching a CSS-lite selector."""
-        return Selector(selector).select(self)
+        return _compile_selector(selector).select(self)
 
     def select_one(self, selector: str) -> "DomNode | None":
         matches = self.select(selector)
@@ -255,9 +256,33 @@ class _TreeBuilder(HTMLParser):
             self._stack[-1].children.append(text)
 
 
+#: BQT selectors come from a small fixed vocabulary (the workflow's form
+#: and template queries), so compiled selectors are shared process-wide
+#: instead of re-tokenizing on every ``select()`` call.  A
+#: :class:`Selector` is immutable after construction, which makes the
+#: shared instance thread-safe.
+_compile_selector = lru_cache(maxsize=1024)(Selector)
+
+
 def parse_html(markup: str) -> DomNode:
     """Parse HTML into a DOM tree rooted at a synthetic ``document`` node."""
     builder = _TreeBuilder()
     builder.feed(markup)
     builder.close()
     return builder.root
+
+
+@lru_cache(maxsize=256)
+def parse_html_cached(markup: str) -> DomNode:
+    """Content-addressed :func:`parse_html`: one tree per distinct markup.
+
+    BAT page chrome is memoized server-side, so fleets see the same bytes
+    over and over (every home page, every no-service page for the same
+    address template); re-running the tolerant tokenizer on each sighting
+    is pure waste.  The returned tree is **shared** — callers must treat
+    it as read-only, which every consumer in the library does (the
+    browsers only query; form submission reads field values into a fresh
+    dict).  Nothing in the tree is position- or session-dependent, so
+    sharing cannot leak state between queries, workers, or shards.
+    """
+    return parse_html(markup)

@@ -12,11 +12,18 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import PlanParseError
-from .dom import DomNode
+from .dom import DomNode, parse_html_cached
 
-__all__ = ["ObservedPlan", "parse_plans_page", "parse_speed", "parse_price"]
+__all__ = [
+    "ObservedPlan",
+    "parse_plans_page",
+    "plans_from_markup",
+    "parse_speed",
+    "parse_price",
+]
 
 _SPEED_RE = re.compile(r"([\d.]+)\s*(kbps|mbps|gbps)", re.IGNORECASE)
 _PRICE_RE = re.compile(r"\$\s*([\d,]+(?:\.\d+)?)")
@@ -134,3 +141,18 @@ def parse_plans_page(document: DomNode) -> list[ObservedPlan]:
     if not plans:
         raise PlanParseError("no plan rows or plan cards found on plans page")
     return plans
+
+
+@lru_cache(maxsize=256)
+def plans_from_markup(markup: str) -> tuple[ObservedPlan, ...]:
+    """Content-addressed plan extraction: markup bytes -> plan tuple.
+
+    The same plans page markup yields the same plans, so repeated
+    sightings (every address in a block group sharing an offer tier)
+    skip both the :class:`~html.parser.HTMLParser` tree rebuild and the
+    row walk.  The cached value is a tuple of frozen dataclasses —
+    genuinely immutable, safe to share across threads and shards.
+    :class:`~repro.errors.PlanParseError` propagates uncached, so a
+    template change is re-diagnosed on every sighting.
+    """
+    return tuple(parse_plans_page(parse_html_cached(markup)))

@@ -17,11 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import BqtError, TransportError
-from ..net.clock import Clock, VirtualClock
+from ..net.clock import Clock, VirtualClock, measure
 from ..net.cookies import CookieJar
 from ..net.http import HttpRequest
 from ..net.transport import Transport
-from .dom import DomNode, parse_html
+from .dom import DomNode, parse_html_cached
 
 __all__ = ["Browser", "PageLoad", "build_form_request"]
 
@@ -90,14 +90,16 @@ class Browser:
     # ------------------------------------------------------------------
     def _fetch(self, request: HttpRequest, host: str) -> DomNode:
         self._jar.apply(host, request)
-        started = self.clock.now()
-        response = self._transport.send(request, host, self.client_ip, self.clock)
-        elapsed = self.clock.now() - started
+        with measure(self.clock) as timer:
+            response = self._transport.send(
+                request, host, self.client_ip, self.clock
+            )
+        elapsed = timer.seconds
         self._jar.update_from_response(host, response)
         self.host = host
         self.markup = response.text()
         self.status = response.status
-        self.document = parse_html(self.markup)
+        self.document = parse_html_cached(self.markup)
         self.history.append(
             PageLoad(host=host, path=request.path, status=response.status,
                      elapsed_seconds=elapsed)

@@ -34,9 +34,10 @@ from typing import Generator
 import numpy as np
 
 from ..errors import BqtError, PlanParseError
+from ..net.clock import measure
 from .dom import DomNode
 from .matching import best_suggestion
-from .parsing import ObservedPlan, parse_plans_page
+from .parsing import ObservedPlan, plans_from_markup
 from .templates import TemplateKind, classify_page
 from .webdriver import Browser
 
@@ -285,7 +286,9 @@ def query_plan(
 
         if kind == TemplateKind.PLANS:
             try:
-                plans = tuple(parse_plans_page(page.document))
+                # Content-addressed: identical plans markup skips the
+                # DOM rebuild and row walk entirely.
+                plans = plans_from_markup(page.markup)
             except PlanParseError:
                 return finish(QueryStatus.MALFORMED_PAGE)
             resolved = ""
@@ -339,31 +342,33 @@ class QueryWorkflow:
         """Query one address through one ISP's BAT."""
         browser = self._browser
         browser.reset_session()
-        started = browser.clock.now()
-
-        plan = query_plan(host, street_line, zip_code)
-        command = next(plan)
-        while True:
-            if isinstance(command, Navigate):
-                browser.get(command.host, command.path)
-            else:
-                browser.submit_form(
-                    command.selector,
-                    fields=command.fields or None,
-                    extra=command.extra or None,
-                )
-            try:
-                command = plan.send(Page(browser.document, browser.markup))
-            except StopIteration as stop:
-                outcome: QueryOutcome = stop.value
-                break
+        # Offset-free interval measurement (see repro.net.clock.measure):
+        # a query's elapsed time is byte-identical however far into the
+        # session its worker's clock already is.
+        with measure(browser.clock) as timer:
+            plan = query_plan(host, street_line, zip_code)
+            command = next(plan)
+            while True:
+                if isinstance(command, Navigate):
+                    browser.get(command.host, command.path)
+                else:
+                    browser.submit_form(
+                        command.selector,
+                        fields=command.fields or None,
+                        extra=command.extra or None,
+                    )
+                try:
+                    command = plan.send(Page(browser.document, browser.markup))
+                except StopIteration as stop:
+                    outcome: QueryOutcome = stop.value
+                    break
         return QueryResult(
             isp=isp,
             input_line=street_line,
             input_zip=zip_code,
             status=outcome.status,
             plans=outcome.plans,
-            elapsed_seconds=browser.clock.now() - started,
+            elapsed_seconds=timer.seconds,
             steps=outcome.steps,
             resolved_line=outcome.resolved_line,
         )

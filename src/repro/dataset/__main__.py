@@ -5,6 +5,13 @@ the privacy-preserving dataset release::
 
     python -m repro.dataset --out dataset.csv --scale 0.1 \
         --cities new-orleans wichita
+
+A ``warm`` subcommand prefetches the on-disk query cache for the
+thirty-city paper-scale configuration (the one ``python -m
+repro.experiments`` curates), so every later reproduction loads its
+shards from disk instead of replaying a single BQT query::
+
+    python -m repro.dataset warm --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
@@ -12,20 +19,30 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from ..exec.base import EXECUTOR_BACKENDS, default_backend
 from ..exec.store import build_result_cache
 from ..world import WorldConfig, build_world
+from .cli import add_scheduling_arguments, print_run_summary
 from .curation import CurationConfig, CurationPipeline
 from .io import write_dataset_csv
 from .sampling import SamplingConfig
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "warm":
+        return warm_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.dataset",
-        description="Curate a broadband-plans dataset and write the release CSV.",
+        description="Curate a broadband-plans dataset and write the "
+                    "release CSV.  (See also: the 'warm' subcommand, "
+                    "which prefetches the disk cache for the paper-scale "
+                    "experiment configuration.)",
     )
     parser.add_argument("--out", type=Path, default=Path("broadband_plans.csv"))
     parser.add_argument("--seed", type=int, default=42)
@@ -54,6 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the query-result cache entirely "
                              "(every shard is replayed)")
+    add_scheduling_arguments(parser)
     args = parser.parse_args(argv)
 
     started = time.time()
@@ -82,6 +100,8 @@ def main(argv: list[str] | None = None) -> int:
         ),
         executor=args.backend if args.backend is not None else default_backend(),
         cache=cache,
+        schedule=args.schedule,
+        chunk_tasks=args.chunk_tasks,
     )
     started = time.time()
     dataset = pipeline.curate(
@@ -91,13 +111,110 @@ def main(argv: list[str] | None = None) -> int:
     print(f"curated {counts['observations']} observations "
           f"({counts['addresses']} addresses, {counts['block_groups']} block "
           f"groups) in {time.time() - started:.0f}s")
-    run = pipeline.last_run
-    print(f"cache: replayed {run.replayed_queries} queries; "
-          f"{run.cached_shards}/{run.total_shards} shards cached "
-          f"({run.disk_shards} from disk)")
+    print_run_summary(pipeline, args.profile_shards)
 
     rows = write_dataset_csv(dataset, args.out)
     print(f"wrote {rows} rows to {args.out}")
+    return 0
+
+
+def warm_main(argv: list[str]) -> int:
+    """``python -m repro.dataset warm``: prefetch the paper-scale cache.
+
+    Curates exactly the configuration the experiment context uses —
+    thirty cities, 10% stratified sampling, the env-tunable scale and
+    sample floor — through an on-disk cache, so the next ``python -m
+    repro.experiments`` (or CI warm pass) loads every shard from disk and
+    replays zero queries.  Observed shard costs land in the manifest as a
+    bonus: the warming run itself seeds the scheduler's cost model.
+    """
+    # Imported here: repro.experiments pulls the analysis stack, which the
+    # plain curation CLI does not need.
+    from ..experiments.context import default_scale, paper_curation_config
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dataset warm",
+        description="Pre-populate the on-disk query cache for the "
+                    "paper-scale experiment configuration.",
+    )
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="on-disk cache root to warm (default: "
+                             "REPRO_CACHE_DIR; required one way or the "
+                             "other)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="block-group scale factor (default: "
+                             "REPRO_BENCH_SCALE or 0.12 — the experiment "
+                             "context's own default; 1.0 = paper scale)")
+    parser.add_argument("--min-samples", type=int, default=None,
+                        help="per-block-group sample floor (default: "
+                             "REPRO_BENCH_MIN_SAMPLES or the context "
+                             "default)")
+    parser.add_argument("--cities", nargs="*", default=None,
+                        help="restrict warming to specific cities "
+                             "(default: all thirty)")
+    parser.add_argument("--workers", type=int, default=50,
+                        help="BQT fleet size per shard (default 50 — the "
+                             "value the experiment context hardcodes).  "
+                             "Fleet size is part of every shard's cache "
+                             "key: warming with a different value "
+                             "populates keys the experiments CLI will "
+                             "never look up")
+    parser.add_argument("--backend", default=None,
+                        choices=EXECUTOR_BACKENDS,
+                        help="execution backend for the warming run "
+                             "(default: REPRO_EXEC_BACKEND or serial)")
+    add_scheduling_arguments(parser)
+    args = parser.parse_args(argv)
+
+    cache = build_result_cache(
+        cache_dir=args.cache_dir, max_bytes=args.cache_max_bytes
+    )
+    if cache is None or cache.store is None:
+        parser.error("warm needs an on-disk cache: pass --cache-dir or "
+                     "set REPRO_CACHE_DIR")
+
+    scale = args.scale if args.scale is not None else default_scale()
+    started = time.time()
+    world = build_world(
+        WorldConfig(
+            seed=args.seed,
+            scale=scale,
+            cities=tuple(args.cities) if args.cities else None,
+        )
+    )
+    print(f"world built in {time.time() - started:.0f}s "
+          f"({len(world.cities)} cities, scale {scale})", flush=True)
+
+    # One shared constructor with get_context, so the warmed cache keys
+    # are exactly the ones the experiments CLI will look up.
+    config = paper_curation_config(args.min_samples)
+    if args.workers != config.n_workers:
+        print(f"warning: --workers {args.workers} changes the shard cache "
+              f"keys; `python -m repro.experiments` curates with "
+              f"{config.n_workers} workers and will not reuse this warm "
+              "cache", flush=True)
+        config = replace(config, n_workers=args.workers)
+    pipeline = CurationPipeline(
+        world,
+        config,
+        executor=args.backend if args.backend is not None else default_backend(),
+        cache=cache,
+        schedule=args.schedule,
+        chunk_tasks=args.chunk_tasks,
+    )
+    started = time.time()
+    dataset = pipeline.curate()
+    run = pipeline.last_run
+    print(f"warmed {run.total_shards} shards "
+          f"({len(dataset)} observations) in {time.time() - started:.0f}s: "
+          f"{run.executed_shards} executed, {run.cached_shards} already "
+          f"cached ({run.disk_shards} from disk)")
+    print_run_summary(pipeline, args.profile_shards)
+    store = cache.store
+    print(f"store: {len(store)} shard entries, {store.total_bytes()} bytes, "
+          f"{len(store.cost_records())} cost records at {store.root}")
     return 0
 
 

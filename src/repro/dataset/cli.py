@@ -1,0 +1,83 @@
+"""Shared command-line plumbing for the curation and experiment CLIs.
+
+Lives outside ``__main__`` so ``python -m repro.dataset`` (which loads
+that module as ``__main__``) and library importers (``repro.experiments.
+__main__``, tests) see one module instance instead of two.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..errors import ConfigurationError
+from ..exec.schedule import SCHEDULE_MODES, parse_chunk_tasks
+from .curation import CurationPipeline, CurationRunReport
+
+__all__ = [
+    "add_scheduling_arguments",
+    "render_shard_table",
+    "print_run_summary",
+]
+
+
+def _chunk_tasks_arg(raw: str) -> "int | str":
+    """``--chunk-tasks`` flag adapter over the one shared knob parser."""
+    try:
+        return parse_chunk_tasks(raw)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def add_scheduling_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shard-scheduling knobs shared by both CLIs."""
+    parser.add_argument("--schedule", default=None, choices=SCHEDULE_MODES,
+                        help="shard dispatch order: lpt (longest first, "
+                             "priced by the cost model; default) or fifo "
+                             "(enumeration order).  The dataset is "
+                             "byte-identical either way")
+    parser.add_argument("--chunk-tasks", type=_chunk_tasks_arg, default=None,
+                        metavar="N|auto",
+                        help="split shards larger than N tasks into "
+                             "sub-shard chunks ('auto' sizes chunks from "
+                             "the executor width; default: "
+                             "REPRO_CHUNK_TASKS or no chunking).  "
+                             "Byte-transparent like --schedule")
+    parser.add_argument("--profile-shards", action="store_true",
+                        help="print a per-shard wall-time table after the "
+                             "run, stragglers first")
+
+
+def render_shard_table(report: CurationRunReport) -> str:
+    """The ``--profile-shards`` table: dispatched shards, stragglers first."""
+    header = (
+        f"{'city':<16}{'isp':<13}{'tasks':>7}{'chunks':>8}"
+        f"{'wall_s':>9}{'predicted':>11}  source"
+    )
+    lines = [header, "-" * len(header)]
+    rows = sorted(
+        report.shard_timings, key=lambda t: (-t.wall_seconds, t.city, t.isp)
+    )
+    for timing in rows:
+        lines.append(
+            f"{timing.city:<16}{timing.isp:<13}{timing.tasks:>7d}"
+            f"{timing.chunks:>8d}{timing.wall_seconds:>9.2f}"
+            f"{timing.predicted_seconds:>11.1f}  {timing.cost_source}"
+        )
+    if not rows:
+        lines.append("(no shards were dispatched — everything came "
+                     "from cache)")
+    return "\n".join(lines)
+
+
+def print_run_summary(pipeline: CurationPipeline, profile: bool) -> None:
+    """Cache/schedule accounting lines both CLI paths print after a run."""
+    run = pipeline.last_run
+    print(f"cache: replayed {run.replayed_queries} queries; "
+          f"{run.cached_shards}/{run.total_shards} shards cached "
+          f"({run.disk_shards} from disk)")
+    print(f"schedule: {run.schedule}; {run.executed_shards} shards as "
+          f"{run.dispatched_units} dispatch units "
+          f"({run.chunked_shards} chunked) on the {run.backend} backend")
+    if profile:
+        print()
+        print(render_shard_table(run))

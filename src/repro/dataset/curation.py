@@ -22,6 +22,9 @@ known.
 from __future__ import annotations
 
 import hashlib
+import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 from ..addresses.database import AddressIndex
@@ -33,7 +36,17 @@ from ..core.workflow import QueryResult
 from ..errors import DatasetError
 from ..exec.base import Executor, resolve_executor
 from ..exec.cache import QueryResultCache, address_cache_key
-from ..exec.store import ShardMeta
+from ..exec.schedule import (
+    SCHEDULE_MODES,
+    ShardCostModel,
+    calibrate_costs,
+    chunk_spans,
+    default_chunk_tasks,
+    default_schedule,
+    lpt_order,
+    resolve_chunk_tasks,
+)
+from ..exec.store import ShardCostRecord, ShardMeta
 from ..net.proxy import ResidentialProxyPool
 from ..net.transport import InProcessTransport
 from ..seeding import derive_seed
@@ -53,6 +66,7 @@ __all__ = [
     "CurationPipeline",
     "CurationRunReport",
     "IspOverride",
+    "ShardTiming",
     "hash_address_id",
 ]
 
@@ -92,6 +106,17 @@ class CurationConfig:
             politeness for individual ISPs.  Stored as a tuple so the
             config stays hashable/picklable; use :meth:`with_isp_override`
             to derive one.
+        pacing_time_scale: Real seconds slept per simulated second of
+            request latency (see :class:`~repro.net.transport.
+            InProcessTransport`).  0.0 (the default) runs at CPU speed;
+            a non-zero scale makes shard wall time track virtual time —
+            the regime the scheduler benchmarks measure.  Deliberately
+            excluded from shard config digests: pacing never changes a
+            single observation byte.  Pair pacing with the thread
+            backend: on the ``"async"`` backend the blocking pacing
+            sleep runs on the event-loop thread and serializes every
+            dispatch unit (results stay byte-identical; only wall time
+            suffers).
     """
 
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
@@ -99,6 +124,7 @@ class CurationConfig:
     politeness_seconds: float = 5.0
     salt: str = "bqt-release"
     per_isp: tuple[tuple[str, IspOverride], ...] = ()
+    pacing_time_scale: float = 0.0
 
     def with_isp_override(
         self,
@@ -138,6 +164,26 @@ class CurationConfig:
 
 
 @dataclass(frozen=True)
+class ShardTiming:
+    """Observed execution of one dispatched (city, ISP) shard.
+
+    ``wall_seconds`` is the shard's serial replay cost — the sum of its
+    dispatch units' wall times — so the number is comparable whether the
+    shard ran whole or chunked, on any backend.  ``predicted_seconds`` and
+    ``cost_source`` echo the scheduler's pricing, so a ``--profile-shards``
+    table shows both what the scheduler believed and what happened.
+    """
+
+    city: str
+    isp: str
+    tasks: int
+    chunks: int
+    wall_seconds: float
+    predicted_seconds: float
+    cost_source: str
+
+
+@dataclass(frozen=True)
 class CurationRunReport:
     """Accounting for the most recent :meth:`CurationPipeline.curate` call.
 
@@ -151,6 +197,11 @@ class CurationRunReport:
             cost a cache hit avoids.  Zero means the whole dataset came
             from cache without replaying a single query.
         backend: Executor backend name used for the dispatched shards.
+        schedule: Dispatch-order mode (``"lpt"`` or ``"fifo"``).
+        dispatched_units: Work units sent to the executor — equal to
+            ``executed_shards`` when nothing chunked, larger otherwise.
+        shard_timings: Per-shard wall-time accounting for the dispatched
+            shards, in merge order (``--profile-shards`` renders these).
     """
 
     shards: tuple[tuple[str, str], ...]
@@ -159,6 +210,9 @@ class CurationRunReport:
     backend: str
     disk_shards: int = 0
     replayed_queries: int = 0
+    schedule: str = "lpt"
+    dispatched_units: int = 0
+    shard_timings: tuple[ShardTiming, ...] = ()
 
     @property
     def total_shards(self) -> int:
@@ -168,6 +222,11 @@ class CurationRunReport:
     def memory_shards(self) -> int:
         """Cached shards served straight from the in-memory tier."""
         return self.cached_shards - self.disk_shards
+
+    @property
+    def chunked_shards(self) -> int:
+        """Dispatched shards that were split into more than one chunk."""
+        return sum(1 for timing in self.shard_timings if timing.chunks > 1)
 
 
 def _shard_tasks(
@@ -186,6 +245,46 @@ def _shard_tasks(
     for geoid in sorted(samples):
         tasks.extend(samples[geoid])
     return tasks
+
+
+# The BAT-side address index is a pure (and fairly expensive) function of
+# the city's canonical address book, shared read-only by every shard and
+# chunk of that city.  Rebuilding it per dispatch unit would make fine
+# chunking pay a per-unit tax proportional to city size — exactly the
+# shards chunking exists to speed up — so units share one index per
+# (world config, city).  Bounded: curation touches a handful of cities at
+# a time, and an evicted index is just rebuilt.
+_ADDRESS_INDEX_MEMO: "OrderedDict[tuple[WorldConfig, str], AddressIndex]" = (
+    OrderedDict()
+)
+_ADDRESS_INDEX_MEMO_MAX = 8
+_ADDRESS_INDEX_LOCK = threading.Lock()
+
+
+def _city_address_index(
+    world_config: WorldConfig, city_world: CityWorld
+) -> AddressIndex:
+    """The shared read-only address index of one city.
+
+    Keyed by ``(world_config, city name)``: :func:`repro.world.
+    build_city_world` is a pure function of that pair, so any
+    ``city_world`` passed alongside the key indexes to identical content.
+    Two threads racing on a miss both build equivalent indexes and the
+    last write wins — harmless.
+    """
+    key = (world_config, city_world.info.name)
+    with _ADDRESS_INDEX_LOCK:
+        index = _ADDRESS_INDEX_MEMO.get(key)
+        if index is not None:
+            _ADDRESS_INDEX_MEMO.move_to_end(key)
+            return index
+    index = AddressIndex(tuple(city_world.book.canonical))
+    with _ADDRESS_INDEX_LOCK:
+        _ADDRESS_INDEX_MEMO[key] = index
+        _ADDRESS_INDEX_MEMO.move_to_end(key)
+        while len(_ADDRESS_INDEX_MEMO) > _ADDRESS_INDEX_MEMO_MAX:
+            _ADDRESS_INDEX_MEMO.popitem(last=False)
+    return index
 
 
 def _shard_observations(
@@ -214,11 +313,12 @@ def _shard_observations(
     transport = InProcessTransport(
         latency=world_config.latency,
         seed=derive_seed(seed, "curation-transport", city, isp),
+        time_scale=config.pacing_time_scale,
     )
     transport.register(
         BatApplication(
             profile=profile_for(isp),
-            index=AddressIndex(tuple(city_world.book.canonical)),
+            index=_city_address_index(world_config, city_world),
             offers=offer_resolver({city: city_world}, isp),
             seed=seed,
         )
@@ -268,28 +368,50 @@ _CITY_WORLD_MEMO: dict[tuple[WorldConfig, str], CityWorld] = {}
 
 @dataclass(frozen=True)
 class _ShardJob:
-    """Self-contained, picklable description of one shard's work."""
+    """Self-contained, picklable description of one dispatch unit's work.
+
+    ``tasks`` is the unit's pre-sliced span of the shard's canonical task
+    list (the parent already sampled it; re-sampling the whole city once
+    per chunk in the worker would tax chunking with exactly the
+    city-size-proportional setup it exists to avoid).  ``start``/``stop``
+    document the span and serve as the fallback slice when ``tasks`` is
+    not supplied.
+    """
 
     world_config: WorldConfig
     city: str
     isp: str
     config: CurationConfig
+    start: int = 0
+    stop: int | None = None
+    tasks: tuple[NoisyAddress, ...] | None = None
 
 
-def _run_shard_job(job: _ShardJob) -> tuple[AddressObservation, ...]:
-    """Top-level shard runner (picklable; used by every backend).
+def _run_shard_job(job: _ShardJob) -> tuple[tuple[AddressObservation, ...], float]:
+    """Top-level dispatch-unit runner (picklable; used by every backend).
 
     In a worker process the city's ground truth is rebuilt from the world
     configuration — :func:`repro.world.build_city_world` is a pure function
     of ``(config, city)``, so the rebuild is indistinguishable from the
-    parent's copy and the observations come out byte-identical.
+    parent's copy and the observations come out byte-identical.  Returns
+    the unit's observations plus its wall time (measured here, inside the
+    worker, so chunk costs sum to the shard's serial replay cost on every
+    backend; task preparation stays outside the timed region to match the
+    thread/serial path, which samples once per shard up front).
     """
     memo_key = (job.world_config, job.city)
     city_world = _CITY_WORLD_MEMO.get(memo_key)
     if city_world is None:
         city_world = build_city_world(job.world_config, job.city)
         _CITY_WORLD_MEMO[memo_key] = city_world
-    return _shard_observations(job.world_config, city_world, job.isp, job.config)
+    tasks = list(job.tasks) if job.tasks is not None else _shard_tasks(
+        city_world, job.isp, job.config.sampling, job.world_config.seed
+    )[job.start : job.stop]
+    started = time.monotonic()
+    observations = _shard_observations(
+        job.world_config, city_world, job.isp, job.config, tasks=tasks
+    )
+    return observations, time.monotonic() - started
 
 
 @dataclass(frozen=True)
@@ -300,12 +422,23 @@ class _ShardPlan:
     isp: str
     city_world: CityWorld
     cache_keys: tuple[str, ...]
-    # The shard's sampled tasks, when the cache-keying path already drew
-    # them (reused by the serial/thread execution path; None otherwise).
+    # The shard's sampled tasks in canonical (geoid-sorted) order; the
+    # scheduler's chunk spans slice this list, and the thread/async/serial
+    # paths replay it directly.
     tasks: tuple[NoisyAddress, ...] | None = None
     # Config digest of this shard (incremental re-curation unit); labels
     # the entry in the disk manifest.
     config_digest: str = ""
+
+
+@dataclass(frozen=True)
+class _DispatchUnit:
+    """One executor work item: a contiguous slice of one pending shard."""
+
+    plan_index: int
+    start: int
+    stop: int
+    cost: float
 
 
 class CurationPipeline:
@@ -322,6 +455,15 @@ class CurationPipeline:
         cache: Optional :class:`~repro.exec.QueryResultCache`; shards whose
             content-addressed keys are fully present are served from it
             without replaying any queries.
+        schedule: Dispatch-order mode — ``"lpt"`` (longest processing time
+            first, priced by the cost model; the default) or ``"fifo"``
+            (enumeration order).  Execution-only: the merged dataset is
+            byte-identical either way.
+        chunk_tasks: Sub-shard chunk cap — None (never split), an integer
+            task count, or ``"auto"`` (size chunks from the executor
+            width).  Execution-only, like ``schedule``: a chunk replays
+            exactly the observations its span of the whole-shard run
+            would produce.
     """
 
     def __init__(
@@ -330,11 +472,22 @@ class CurationPipeline:
         config: CurationConfig | None = None,
         executor: Executor | str | None = None,
         cache: QueryResultCache | None = None,
+        schedule: str | None = None,
+        chunk_tasks: int | str | None = None,
     ) -> None:
         self._world = world
         self.config = config or CurationConfig()
         self.executor = resolve_executor(executor)
         self.cache = cache
+        self.schedule = schedule if schedule is not None else default_schedule()
+        if self.schedule not in SCHEDULE_MODES:
+            raise DatasetError(
+                f"unknown schedule mode {self.schedule!r} "
+                f"(available: {', '.join(SCHEDULE_MODES)})"
+            )
+        self.chunk_tasks = (
+            chunk_tasks if chunk_tasks is not None else default_chunk_tasks()
+        )
         self.last_run: CurationRunReport | None = None
 
     # ------------------------------------------------------------------
@@ -424,21 +577,22 @@ class CurationPipeline:
         # Every shard's config digest is computed up front; it decides —
         # together with the address-level keys it feeds — whether the
         # shard is fresh (served from cache) or stale (re-dispatched).
+        # Tasks are always sampled here: the scheduler prices shards by
+        # task count and slices the canonical task list into chunks.
         base = self._base_digest() if self.cache is not None else ""
         plans: list[_ShardPlan] = []
         for city, isp in shards:
             city_world = self._world.city(city)
             keys: tuple[str, ...] = ()
-            tasks: tuple[NoisyAddress, ...] | None = None
             digest = ""
+            tasks = tuple(
+                _shard_tasks(
+                    city_world, isp, self.config.sampling,
+                    self._world.config.seed,
+                )
+            )
             if self.cache is not None:
                 digest = self._shard_config_digest(city, isp, base)
-                tasks = tuple(
-                    _shard_tasks(
-                        city_world, isp, self.config.sampling,
-                        self._world.config.seed,
-                    )
-                )
                 keys = self._shard_cache_keys(isp, list(tasks), digest)
             plans.append(
                 _ShardPlan(city, isp, city_world, keys, tasks, digest)
@@ -460,8 +614,12 @@ class CurationPipeline:
                 pending.append((index, plan))
 
         replayed = 0
+        timings: tuple[ShardTiming, ...] = ()
+        dispatched_units = 0
         if pending:
-            executed = self._execute([plan for _, plan in pending])
+            executed, timings, dispatched_units = self._execute(
+                [plan for _, plan in pending]
+            )
             world_config = self._world.config
             for (index, plan), observations in zip(pending, executed):
                 results[index] = observations
@@ -478,6 +636,7 @@ class CurationPipeline:
                             config_digest=plan.config_digest,
                         ),
                     )
+            self._record_costs(timings, [plan for _, plan in pending])
 
         self.last_run = CurationRunReport(
             shards=tuple(shards),
@@ -486,21 +645,120 @@ class CurationPipeline:
             backend=self.executor.name,
             disk_shards=disk_shards,
             replayed_queries=replayed,
+            schedule=self.schedule,
+            dispatched_units=dispatched_units,
+            shard_timings=timings,
         )
         merged: list[AddressObservation] = []
         for index in range(len(plans)):
             merged.extend(results[index])
         return BroadbandDataset(tuple(merged))
 
+    def _schedule_units(
+        self, plans: list[_ShardPlan]
+    ) -> tuple[list[_DispatchUnit], list[ShardTiming | None]]:
+        """Price, chunk, and LPT-order the pending shards.
+
+        Returns the dispatch units in dispatch order plus a per-plan
+        timing skeleton carrying the scheduler's predictions (filled with
+        observed wall times after execution).
+        """
+        cost_model = ShardCostModel(
+            self.cache.store if self.cache is not None else None
+        )
+        total_tasks = sum(len(plan.tasks or ()) for plan in plans)
+        cap = resolve_chunk_tasks(
+            self.chunk_tasks, total_tasks, self.executor.width
+        )
+
+        politeness = [
+            self.config.effective_politeness(plan.isp) for plan in plans
+        ]
+        costs = [
+            cost_model.cost(
+                plan.city,
+                plan.isp,
+                len(plan.tasks or ()),
+                politeness[i],
+                config_digest=plan.config_digest,
+                pacing_time_scale=self.config.pacing_time_scale,
+            )
+            for i, plan in enumerate(plans)
+        ]
+        # Observed costs are real seconds, estimates virtual seconds;
+        # rescale the estimates so a mixed set sorts in one unit.
+        prices = calibrate_costs(costs, politeness)
+
+        units: list[_DispatchUnit] = []
+        predictions: list[ShardTiming | None] = []
+        for plan_index, plan in enumerate(plans):
+            n_tasks = len(plan.tasks or ())
+            price = prices[plan_index]
+            spans = chunk_spans(n_tasks, cap)
+            predictions.append(
+                ShardTiming(
+                    city=plan.city,
+                    isp=plan.isp,
+                    tasks=n_tasks,
+                    chunks=len(spans),
+                    wall_seconds=0.0,
+                    predicted_seconds=price,
+                    cost_source=costs[plan_index].source,
+                )
+            )
+            for start, stop in spans:
+                share = (stop - start) / n_tasks if n_tasks else 0.0
+                units.append(
+                    _DispatchUnit(plan_index, start, stop, price * share)
+                )
+
+        if self.schedule == "lpt":
+            order = lpt_order(
+                [unit.cost for unit in units],
+                [
+                    (plans[unit.plan_index].city, plans[unit.plan_index].isp,
+                     unit.start)
+                    for unit in units
+                ],
+            )
+            units = [units[index] for index in order]
+        return units, predictions
+
     def _execute(
         self, plans: list[_ShardPlan]
-    ) -> list[tuple[AddressObservation, ...]]:
-        """Dispatch shard work through the configured backend."""
+    ) -> tuple[
+        list[tuple[AddressObservation, ...]],
+        tuple[ShardTiming, ...],
+        int,
+    ]:
+        """Dispatch scheduled shard work through the configured backend.
+
+        Shards are priced by the cost model, oversized ones split into
+        sub-shard chunks, and the resulting units dispatched longest-first
+        (under ``schedule="lpt"``).  Chunk results merge back in canonical
+        span order, so the returned per-plan observations — hence the
+        dataset — are byte-identical whatever the dispatch order, chunk
+        cap, or backend.
+        """
         world_config = self._world.config
+        units, predictions = self._schedule_units(plans)
+
         if self.executor.name == "process":
             jobs = [
-                _ShardJob(world_config, plan.city, plan.isp, self.config)
-                for plan in plans
+                _ShardJob(
+                    world_config,
+                    plans[unit.plan_index].city,
+                    plans[unit.plan_index].isp,
+                    self.config,
+                    start=unit.start,
+                    stop=unit.stop,
+                    tasks=(
+                        plans[unit.plan_index].tasks[unit.start : unit.stop]
+                        if plans[unit.plan_index].tasks is not None
+                        else None
+                    ),
+                )
+                for unit in units
             ]
             # Pre-seed the city memo with the parent's already-built
             # cities: fork-started workers inherit it and skip the
@@ -513,30 +771,84 @@ class CurationPipeline:
                     _CITY_WORLD_MEMO[memo_key] = plan.city_world
                     seeded.append(memo_key)
             try:
-                return self.executor.map(_run_shard_job, jobs)
+                outcomes = self.executor.map(_run_shard_job, jobs)
             finally:
                 for memo_key in seeded:
                     _CITY_WORLD_MEMO.pop(memo_key, None)
-        def run_plan(plan: _ShardPlan) -> tuple[AddressObservation, ...]:
-            return _shard_observations(
-                world_config,
-                plan.city_world,
-                plan.isp,
-                self.config,
-                tasks=list(plan.tasks) if plan.tasks is not None else None,
+        else:
+            def run_unit(
+                unit: _DispatchUnit,
+            ) -> tuple[tuple[AddressObservation, ...], float]:
+                plan = plans[unit.plan_index]
+                started = time.monotonic()
+                tasks = (
+                    list(plan.tasks[unit.start : unit.stop])
+                    if plan.tasks is not None
+                    else None
+                )
+                observations = _shard_observations(
+                    world_config, plan.city_world, plan.isp, self.config,
+                    tasks=tasks,
+                )
+                return observations, time.monotonic() - started
+
+            if self.executor.name == "async":
+                # Dispatch units become coroutines on one event loop,
+                # bounded by the executor's semaphore.  Shard work on
+                # the in-process transport is CPU-bound, so this is about
+                # protocol coverage and determinism (the parity suite),
+                # not speed — the async wall-clock win lives on the
+                # fleet's real-TCP path, where page fetches actually
+                # await.
+                async def run_unit_async(
+                    unit: _DispatchUnit,
+                ) -> tuple[tuple[AddressObservation, ...], float]:
+                    return run_unit(unit)
+
+                outcomes = self.executor.map(run_unit_async, units)
+            else:
+                outcomes = self.executor.map(run_unit, units)
+
+        # Merge chunk results back per plan in canonical span order, and
+        # fold observed wall times into the timing rows.
+        by_plan: dict[int, list[tuple[int, tuple[AddressObservation, ...]]]] = {}
+        walls = [0.0] * len(plans)
+        for unit, (observations, wall_seconds) in zip(units, outcomes):
+            by_plan.setdefault(unit.plan_index, []).append(
+                (unit.start, observations)
             )
+            walls[unit.plan_index] += wall_seconds
 
-        if self.executor.name == "async":
-            # Whole (city, ISP) shards become coroutines on one event
-            # loop, bounded by the executor's semaphore.  Shard work on
-            # the in-process transport is CPU-bound, so this is about
-            # protocol coverage and determinism (the parity suite), not
-            # speed — the async wall-clock win lives on the fleet's
-            # real-TCP path, where page fetches actually await.
-            async def run_plan_async(
-                plan: _ShardPlan,
-            ) -> tuple[AddressObservation, ...]:
-                return run_plan(plan)
+        merged: list[tuple[AddressObservation, ...]] = []
+        timings: list[ShardTiming] = []
+        for plan_index in range(len(plans)):
+            pieces = sorted(by_plan.get(plan_index, []))
+            merged.append(
+                tuple(obs for _, piece in pieces for obs in piece)
+            )
+            prediction = predictions[plan_index]
+            assert prediction is not None
+            timings.append(
+                replace(prediction, wall_seconds=walls[plan_index])
+            )
+        return merged, tuple(timings), len(units)
 
-            return self.executor.map(run_plan_async, plans)
-        return self.executor.map(run_plan, plans)
+    def _record_costs(
+        self, timings: tuple[ShardTiming, ...], plans: list[_ShardPlan]
+    ) -> None:
+        """Persist observed shard costs into the disk manifest, if any."""
+        if self.cache is None or self.cache.store is None:
+            return
+        store = self.cache.store
+        for timing, plan in zip(timings, plans):
+            store.record_cost(
+                ShardCostRecord(
+                    city=timing.city,
+                    isp=timing.isp,
+                    config_digest=plan.config_digest,
+                    wall_seconds=timing.wall_seconds,
+                    task_count=timing.tasks,
+                    pacing_time_scale=self.config.pacing_time_scale,
+                )
+            )
+        store.flush()

@@ -14,6 +14,13 @@ curation runs over unchanged worlds skip the replay entirely.  With a
 :class:`~repro.exec.store.DiskShardStore` attached it becomes two-tier —
 shards persist across processes and CI runs, with atomic writes, versioned
 serialization, and LRU eviction under a byte cap.
+
+:mod:`~repro.exec.schedule` decides *in what order and what pieces* the
+units reach an executor: shards are priced by a cost model (observed wall
+times recorded in the disk store's manifest, politeness-based estimates
+otherwise), dispatched longest-first, and oversized shards split into
+byte-transparent sub-shard chunks so no single straggler serializes the
+tail of a run.
 """
 
 from .aio import DEFAULT_ASYNC_CONCURRENCY, AsyncExecutor
@@ -26,10 +33,22 @@ from .base import (
 )
 from .cache import CacheStats, QueryResultCache, address_cache_key
 from .processes import ProcessPoolBackend
+from .schedule import (
+    SCHEDULE_MODES,
+    ShardCost,
+    ShardCostModel,
+    calibrate_costs,
+    chunk_spans,
+    default_chunk_tasks,
+    default_schedule,
+    lpt_order,
+    resolve_chunk_tasks,
+)
 from .serial import SerialExecutor
 from .store import (
     STORE_VERSION,
     DiskShardStore,
+    ShardCostRecord,
     ShardMeta,
     StoreEntry,
     build_result_cache,
@@ -56,9 +75,19 @@ __all__ = [
     "STORE_VERSION",
     "DiskShardStore",
     "ShardMeta",
+    "ShardCostRecord",
     "StoreEntry",
     "build_result_cache",
     "default_cache_dir",
     "default_cache_max_bytes",
     "shard_digest",
+    "SCHEDULE_MODES",
+    "ShardCost",
+    "ShardCostModel",
+    "calibrate_costs",
+    "chunk_spans",
+    "default_chunk_tasks",
+    "default_schedule",
+    "lpt_order",
+    "resolve_chunk_tasks",
 ]

@@ -84,6 +84,17 @@ class Executor(ABC):
         encountered in item order); partial results are discarded.
         """
 
+    @property
+    def width(self) -> int:
+        """How many work items this backend runs concurrently.
+
+        One for the serial backend; the pool/semaphore width for the
+        parallel backends (they all expose ``max_workers``).  The curation
+        scheduler sizes sub-shard chunks from this so no single dispatch
+        unit can serialize the tail of a run.
+        """
+        return int(getattr(self, "max_workers", 1))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 

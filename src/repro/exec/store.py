@@ -36,6 +36,15 @@ Durability rules:
 * **Manifest is advisory.**  Object files are the source of truth: an
   entry present on disk but missing from the manifest (a cross-process
   manifest race, a deleted manifest) is adopted on first read.
+
+The manifest additionally doubles as the curation scheduler's **cost
+model**: every executed shard records its observed wall time and task
+count under its (city, ISP) coordinates (see :meth:`DiskShardStore.
+record_cost`), and the next run orders shard dispatch
+longest-processing-time-first from those observations
+(:mod:`repro.exec.schedule`).  Cost rows are advisory like the rest of
+the manifest — a missing or stale row degrades to the static estimate,
+never to an error.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ if TYPE_CHECKING:  # runtime-lazy: repro.dataset imports repro.exec back
 __all__ = [
     "STORE_VERSION",
     "ShardMeta",
+    "ShardCostRecord",
     "StoreEntry",
     "DiskShardStore",
     "shard_digest",
@@ -120,6 +130,27 @@ class StoreEntry:
     n_observations: int
     n_bytes: int
     access: int
+
+
+@dataclass(frozen=True)
+class ShardCostRecord:
+    """One observed shard execution, persisted in the manifest.
+
+    ``wall_seconds`` is the shard's serial replay cost — the sum of its
+    dispatch units' wall times — so it stays comparable whether the shard
+    ran whole or chunked, on any backend.  ``pacing_time_scale`` records
+    the pacing regime the observation was made under: pacing is excluded
+    from the shard *cache* digest (it never changes a byte), but a
+    CPU-speed cost cannot price a paced run, so the cost model requires
+    the regime to match too.
+    """
+
+    city: str
+    isp: str
+    config_digest: str
+    wall_seconds: float
+    task_count: int
+    pacing_time_scale: float = 0.0
 
 
 def _observation_to_dict(obs: "AddressObservation") -> dict:
@@ -311,12 +342,66 @@ class DiskShardStore:
         return digest
 
     def purge(self) -> None:
-        """Delete every entry and reset the manifest."""
+        """Delete every entry (and cost record) and reset the manifest."""
         with self._lock:
             for digest in list(self._manifest["entries"]):
                 self._unlink(self._object_path(digest))
-            self._manifest = {"version": STORE_VERSION, "clock": 0, "entries": {}}
+            self._manifest = {
+                "version": STORE_VERSION, "clock": 0, "entries": {}, "costs": {},
+            }
             self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # Cost model (read by repro.exec.schedule)
+    # ------------------------------------------------------------------
+    def record_cost(self, record: ShardCostRecord) -> None:
+        """Remember one shard's observed execution cost.
+
+        Persisted lazily — on the next mutating operation or explicit
+        :meth:`flush` — so recording every shard of a run costs one
+        manifest write, not one per shard.  A cost lost to a crash only
+        degrades the next run's dispatch order, never correctness.
+        """
+        with self._lock:
+            self._manifest.setdefault("costs", {})[
+                f"{record.city}\x1f{record.isp}"
+            ] = {
+                "config_digest": record.config_digest,
+                "wall_seconds": round(float(record.wall_seconds), 6),
+                "task_count": int(record.task_count),
+                "pacing_time_scale": float(record.pacing_time_scale),
+            }
+            self._dirty = True
+
+    def cost_for(self, city: str, isp: str) -> ShardCostRecord | None:
+        """The recorded cost of one (city, ISP) shard, if any."""
+        with self._lock:
+            row = self._manifest.get("costs", {}).get(f"{city}\x1f{isp}")
+        if not isinstance(row, dict):
+            return None
+        try:
+            return ShardCostRecord(
+                city=city,
+                isp=isp,
+                config_digest=str(row.get("config_digest", "")),
+                wall_seconds=float(row["wall_seconds"]),
+                task_count=int(row["task_count"]),
+                pacing_time_scale=float(row.get("pacing_time_scale", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def cost_records(self) -> tuple[ShardCostRecord, ...]:
+        """Every recorded shard cost, sorted by (city, ISP)."""
+        with self._lock:
+            keys = sorted(self._manifest.get("costs", {}))
+        records = []
+        for key in keys:
+            city, _, isp = key.partition("\x1f")
+            record = self.cost_for(city, isp)
+            if record is not None:
+                records.append(record)
+        return tuple(records)
 
     # ------------------------------------------------------------------
     # Internals (caller holds the lock)
@@ -412,7 +497,7 @@ class DiskShardStore:
             total -= row["n_bytes"]
 
     def _load_manifest(self) -> dict:
-        fresh = {"version": STORE_VERSION, "clock": 0, "entries": {}}
+        fresh = {"version": STORE_VERSION, "clock": 0, "entries": {}, "costs": {}}
         try:
             data = json.loads(self._manifest_path.read_bytes())
         except (OSError, json.JSONDecodeError, UnicodeDecodeError, ValueError):
@@ -424,6 +509,10 @@ class DiskShardStore:
             or not isinstance(data.get("clock"), int)
         ):
             return fresh
+        if not isinstance(data.get("costs"), dict):
+            # Manifests written before the cost model (or with a mangled
+            # section) simply start with no observations.
+            data["costs"] = {}
         return data
 
     def _save_manifest(self) -> None:

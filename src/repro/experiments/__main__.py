@@ -14,6 +14,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..dataset.cli import add_scheduling_arguments
 from ..exec.base import EXECUTOR_BACKENDS
 from . import ALL_EXPERIMENTS, get_context
 
@@ -46,6 +47,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment ids to run (default: all)")
     parser.add_argument("--output", type=Path,
                         default=Path("benchmarks/output"))
+    add_scheduling_arguments(parser)
     args = parser.parse_args(argv)
 
     names = args.only if args.only else sorted(ALL_EXPERIMENTS)
@@ -65,9 +67,19 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
         use_cache=not args.no_cache,
+        schedule=args.schedule,
+        chunk_tasks=args.chunk_tasks,
     )
     print(f"context ready in {time.time() - started:.0f}s: "
           f"{len(context.dataset)} observations\n")
+    if args.profile_shards:
+        from ..dataset.cli import render_shard_table
+        from .context import last_curation_report
+
+        report = last_curation_report()
+        if report is not None:
+            print(render_shard_table(report))
+            print()
 
     for name in names:
         result = ALL_EXPERIMENTS[name](context)

@@ -30,7 +30,11 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..dataset.container import BroadbandDataset
-from ..dataset.curation import CurationConfig, CurationPipeline
+from ..dataset.curation import (
+    CurationConfig,
+    CurationPipeline,
+    CurationRunReport,
+)
 from ..dataset.sampling import SamplingConfig
 from ..exec.base import default_backend
 from ..exec.cache import QueryResultCache
@@ -46,9 +50,11 @@ __all__ = [
     "get_context",
     "default_scale",
     "default_backend",
+    "paper_curation_config",
     "shared_result_cache",
     "clear_context_cache",
     "context_cache_size",
+    "last_curation_report",
 ]
 
 _DEFAULT_SCALE = 0.12
@@ -102,8 +108,39 @@ def context_cache_size() -> int:
     return get_context.cache_info().currsize
 
 
+# The most recent context build's curation accounting (None until a
+# context is actually curated; memoized re-fetches do not update it).
+_LAST_REPORT: CurationRunReport | None = None
+
+
+def last_curation_report() -> CurationRunReport | None:
+    """Shard-level accounting of the most recent context curation.
+
+    The ``--profile-shards`` CLI path reads shard timings from here, since
+    :func:`get_context` hides its pipeline.
+    """
+    return _LAST_REPORT
+
+
 def default_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", _DEFAULT_SCALE))
+
+
+def paper_curation_config(min_samples: int | None = None) -> CurationConfig:
+    """The curation configuration every experiment context curates with.
+
+    One constructor shared by :func:`get_context` and ``python -m
+    repro.dataset warm``: fleet size and sampling fraction are part of
+    every shard's cache key, so if the two sites built their configs
+    independently a drift in either constant would make warming populate
+    keys the experiments run never looks up.
+    """
+    if min_samples is None:
+        min_samples = _default_min_samples()
+    return CurationConfig(
+        sampling=SamplingConfig(fraction=0.10, min_samples=min_samples),
+        n_workers=50,
+    )
 
 
 def _default_min_samples() -> int:
@@ -139,6 +176,8 @@ def get_context(
     backend: str | None = None,
     cache_dir: str | None = None,
     use_cache: bool = True,
+    schedule: str | None = None,
+    chunk_tasks: int | str | None = None,
 ) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
 
@@ -156,17 +195,28 @@ def get_context(
             ``REPRO_CACHE_DIR`` or memory-only).
         use_cache: False disables the query-result cache entirely for
             this context (the ``--no-cache`` CLI flag).
+        schedule: Shard dispatch-order mode (``"lpt"``/``"fifo"``; None =
+            ``REPRO_SCHEDULE`` or LPT).  Execution-only — the dataset is
+            byte-identical either way.
+        chunk_tasks: Sub-shard chunk cap (int, ``"auto"``, or None =
+            ``REPRO_CHUNK_TASKS`` or no chunking).  Execution-only, like
+            ``schedule``.
     """
     scale = scale if scale is not None else default_scale()
     min_samples = min_samples if min_samples is not None else _default_min_samples()
     backend = backend if backend is not None else default_backend()
     world = build_world(WorldConfig(seed=seed, scale=scale, cities=cities))
-    curation = CurationConfig(
-        sampling=SamplingConfig(fraction=0.10, min_samples=min_samples),
-        n_workers=50,
-    )
+    curation = paper_curation_config(min_samples)
     cache = shared_result_cache(cache_dir) if use_cache else None
-    dataset = CurationPipeline(
-        world, curation, executor=backend, cache=cache
-    ).curate()
+    pipeline = CurationPipeline(
+        world,
+        curation,
+        executor=backend,
+        cache=cache,
+        schedule=schedule,
+        chunk_tasks=chunk_tasks,
+    )
+    dataset = pipeline.curate()
+    global _LAST_REPORT
+    _LAST_REPORT = pipeline.last_run
     return ExperimentContext(world=world, dataset=dataset, curation=curation)

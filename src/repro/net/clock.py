@@ -19,7 +19,7 @@ from typing import Protocol
 
 from ..errors import ConfigurationError
 
-__all__ = ["Clock", "VirtualClock", "RealClock"]
+__all__ = ["Clock", "VirtualClock", "RealClock", "measure"]
 
 
 class Clock(Protocol):
@@ -41,10 +41,22 @@ class VirtualClock:
     >>> clock.sleep(12.5)
     >>> clock.now()
     12.5
+
+    Besides the absolute ``now()``, the clock supports **offset-free
+    interval measurement** via :meth:`mark` / :meth:`elapsed`: an open
+    mark accumulates every subsequent advance starting from exactly 0.0,
+    so the measured interval is the sum of the advance values themselves —
+    independent of the clock's absolute position.  ``now() - started``
+    would instead inherit the float rounding of the clock's offset, making
+    identical work measure ULP-differently at different session times;
+    the curation pipeline's byte-identical chunk scheduling relies on the
+    offset-free form.
     """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._marks: dict[int, float] = {}
+        self._mark_counter = 0
 
     def now(self) -> float:
         return self._now
@@ -53,11 +65,31 @@ class VirtualClock:
         if seconds < 0:
             raise ConfigurationError(f"cannot sleep a negative duration: {seconds}")
         self._now += seconds
+        for token in self._marks:
+            self._marks[token] += seconds
 
     def advance_to(self, timestamp: float) -> None:
         """Jump forward to an absolute time (no-op if already past it)."""
         if timestamp > self._now:
+            delta = timestamp - self._now
             self._now = timestamp
+            for token in self._marks:
+                self._marks[token] += delta
+
+    def mark(self) -> int:
+        """Open an interval measurement; returns a token for elapsed()."""
+        self._mark_counter += 1
+        self._marks[self._mark_counter] = 0.0
+        return self._mark_counter
+
+    def elapsed(self, token: int) -> float:
+        """Close a mark and return the time advanced since it was opened.
+
+        Closing an unknown (or already-closed) token returns 0.0 rather
+        than raising: the caller is ending a measurement, and a stale
+        token must never crash a query mid-flight.
+        """
+        return self._marks.pop(token, 0.0)
 
 
 class RealClock:
@@ -71,3 +103,48 @@ class RealClock:
             raise ConfigurationError(f"cannot sleep a negative duration: {seconds}")
         if seconds:
             time.sleep(seconds)
+
+    def mark(self) -> float:
+        """Open an interval measurement; returns a token for elapsed()."""
+        return time.monotonic()
+
+    def elapsed(self, token: float) -> float:
+        """Return the wall time elapsed since the mark was opened."""
+        return time.monotonic() - token
+
+
+class measure:
+    """Context manager measuring one interval on any clock.
+
+    Uses the clock's offset-free ``mark()``/``elapsed()`` pair when it has
+    one (:class:`VirtualClock`/:class:`RealClock`) and falls back to
+    ``now()`` deltas for bare :class:`Clock` implementations.  The mark is
+    *always* closed on exit — success or exception — so an aborted query
+    can never leak an open mark into the clock (which would both grow
+    memory and tax every later ``sleep()``).
+
+    >>> clock = VirtualClock()
+    >>> with measure(clock) as timer:
+    ...     clock.sleep(2.5)
+    >>> timer.seconds
+    2.5
+    """
+
+    def __init__(self, clock: "Clock") -> None:
+        self._clock = clock
+        self._mark = getattr(clock, "mark", None)
+        self._token: object = None
+        self.seconds: float = 0.0
+
+    def __enter__(self) -> "measure":
+        self._token = (
+            self._mark() if self._mark is not None else self._clock.now()
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._mark is not None:
+            self.seconds = self._clock.elapsed(self._token)
+        else:
+            self.seconds = self._clock.now() - self._token
+        return None
