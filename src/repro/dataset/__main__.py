@@ -12,6 +12,14 @@ repro.experiments`` curates), so every later reproduction loads its
 shards from disk instead of replaying a single BQT query::
 
     python -m repro.dataset warm --cache-dir ~/.cache/repro
+
+A ``worker`` subcommand serves curation shard specs to a remote-backend
+coordinator (see :mod:`repro.dataset.worker`), and ``cache ls`` prints a
+store root's manifest — entries in LRU order plus recorded shard costs::
+
+    python -m repro.dataset worker --port 7071 --width 4 &
+    python -m repro.dataset --backend remote --remote-workers 127.0.0.1:7071
+    python -m repro.dataset cache ls --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
@@ -22,10 +30,16 @@ import time
 from dataclasses import replace
 from pathlib import Path
 
-from ..exec.base import EXECUTOR_BACKENDS, default_backend
-from ..exec.store import build_result_cache
+from ..exec.base import default_backend
+from ..exec.store import build_result_cache, default_cache_dir
 from ..world import WorldConfig, build_world
-from .cli import add_scheduling_arguments, print_run_summary
+from .cli import (
+    add_backend_arguments,
+    add_scheduling_arguments,
+    print_run_summary,
+    render_store_table,
+    resolve_backend_choice,
+)
 from .curation import CurationConfig, CurationPipeline
 from .io import write_dataset_csv
 from .sampling import SamplingConfig
@@ -36,6 +50,12 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "warm":
         return warm_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from .worker import worker_main
+
+        return worker_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.dataset",
@@ -56,11 +76,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-block-group sample floor (paper: 30)")
     parser.add_argument("--workers", type=int, default=50,
                         help="BQT container-fleet size (paper: 50-100)")
-    parser.add_argument("--backend", default=None,
-                        choices=EXECUTOR_BACKENDS,
-                        help="shard execution backend (default: "
-                             "REPRO_EXEC_BACKEND or serial; all backends "
-                             "produce the identical dataset)")
+    add_backend_arguments(parser)
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="on-disk query-result cache root (default: "
                              "REPRO_CACHE_DIR; unset = memory-only cache)")
@@ -73,6 +89,7 @@ def main(argv: list[str] | None = None) -> int:
                              "(every shard is replayed)")
     add_scheduling_arguments(parser)
     args = parser.parse_args(argv)
+    backend = resolve_backend_choice(args)
 
     started = time.time()
     world = build_world(
@@ -98,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             n_workers=args.workers,
         ),
-        executor=args.backend if args.backend is not None else default_backend(),
+        executor=backend if backend is not None else default_backend(),
         cache=cache,
         schedule=args.schedule,
         chunk_tasks=args.chunk_tasks,
@@ -161,12 +178,10 @@ def warm_main(argv: list[str]) -> int:
                              "key: warming with a different value "
                              "populates keys the experiments CLI will "
                              "never look up")
-    parser.add_argument("--backend", default=None,
-                        choices=EXECUTOR_BACKENDS,
-                        help="execution backend for the warming run "
-                             "(default: REPRO_EXEC_BACKEND or serial)")
+    add_backend_arguments(parser)
     add_scheduling_arguments(parser)
     args = parser.parse_args(argv)
+    backend = resolve_backend_choice(args)
 
     cache = build_result_cache(
         cache_dir=args.cache_dir, max_bytes=args.cache_max_bytes
@@ -199,7 +214,7 @@ def warm_main(argv: list[str]) -> int:
     pipeline = CurationPipeline(
         world,
         config,
-        executor=args.backend if args.backend is not None else default_backend(),
+        executor=backend if backend is not None else default_backend(),
         cache=cache,
         schedule=args.schedule,
         chunk_tasks=args.chunk_tasks,
@@ -215,6 +230,41 @@ def warm_main(argv: list[str]) -> int:
     store = cache.store
     print(f"store: {len(store)} shard entries, {store.total_bytes()} bytes, "
           f"{len(store.cost_records())} cost records at {store.root}")
+    return 0
+
+
+def cache_main(argv: list[str]) -> int:
+    """``python -m repro.dataset cache ls``: inspect a store root.
+
+    Prints the manifest — shard entries in LRU order with their (city,
+    ISP, seed, scale, config digest) identities, sizes, and recorded
+    cost rows — without touching a byte of entry content.  This is what a
+    worker would ship for each cached shard, so operators can audit a
+    shared cache root (or a worker's ``--cache-dir``) at a glance.
+    """
+    from ..exec.store import DiskShardStore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dataset cache",
+        description="Inspect an on-disk query-cache root.",
+    )
+    parser.add_argument("action", choices=("ls",),
+                        help="ls: print the manifest (entries in LRU "
+                             "order, bytes, cost records)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="store root to inspect (default: "
+                             "REPRO_CACHE_DIR)")
+    args = parser.parse_args(argv)
+
+    root = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    if root is None:
+        parser.error("cache ls needs a store root: pass --cache-dir or "
+                     "set REPRO_CACHE_DIR")
+    if not Path(root).exists():
+        parser.error(f"no store at {root}")
+    store = DiskShardStore(root)
+    print(f"store root: {store.root}")
+    print(render_store_table(store))
     return 0
 
 

@@ -8,16 +8,57 @@ __main__``, tests) see one module instance instead of two.
 from __future__ import annotations
 
 import argparse
+import os
 
 from ..errors import ConfigurationError
+from ..exec.base import EXECUTOR_BACKENDS
+from ..exec.remote import REMOTE_WORKERS_ENV, parse_worker_addresses
 from ..exec.schedule import SCHEDULE_MODES, parse_chunk_tasks
 from .curation import CurationPipeline, CurationRunReport
 
 __all__ = [
+    "add_backend_arguments",
     "add_scheduling_arguments",
     "render_shard_table",
+    "render_store_table",
+    "resolve_backend_choice",
     "print_run_summary",
 ]
+
+
+def add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution-backend knobs shared by both CLIs."""
+    parser.add_argument("--backend", default=None,
+                        choices=EXECUTOR_BACKENDS,
+                        help="shard execution backend (default: "
+                             "REPRO_EXEC_BACKEND or serial; all backends "
+                             "produce the identical dataset)")
+    parser.add_argument("--remote-workers", default=None,
+                        metavar="HOST:PORT,...",
+                        help="worker fleet for the remote backend, as a "
+                             "comma-separated host:port list (default: "
+                             "REPRO_REMOTE_WORKERS).  Implies --backend "
+                             "remote.  Start workers with `python -m "
+                             "repro.dataset worker`")
+
+
+def resolve_backend_choice(args: argparse.Namespace) -> str | None:
+    """Fold ``--remote-workers`` into the backend choice.
+
+    Validates the address list, publishes it through
+    ``REPRO_REMOTE_WORKERS`` (the one place ``resolve_executor("remote")``
+    reads fleet configuration, so CLI and environment can never drift),
+    and implies ``--backend remote`` when only the fleet was given.
+    """
+    if args.remote_workers:
+        try:
+            parse_worker_addresses(args.remote_workers)
+        except ConfigurationError as exc:
+            raise SystemExit(f"--remote-workers: {exc}") from None
+        os.environ[REMOTE_WORKERS_ENV] = args.remote_workers
+        if args.backend is None:
+            args.backend = "remote"
+    return args.backend
 
 
 def _chunk_tasks_arg(raw: str) -> "int | str":
@@ -66,6 +107,49 @@ def render_shard_table(report: CurationRunReport) -> str:
     if not rows:
         lines.append("(no shards were dispatched — everything came "
                      "from cache)")
+    return "\n".join(lines)
+
+
+def render_store_table(store) -> str:
+    """The ``cache ls`` listing: manifest entries (LRU order) + costs.
+
+    Shows exactly what a warm worker would ship for each shard — the
+    entry a coordinator promotes into its own cache — so an operator can
+    audit a shared cache root without parsing the manifest by hand.
+    """
+    entries = store.entries()
+    header = (
+        f"{'digest':<14}{'city':<16}{'isp':<13}{'seed':>6}{'scale':>7}  "
+        f"{'config':<10}{'obs':>6}{'bytes':>10}{'lru':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for entry in entries:
+        meta = entry.meta
+        lines.append(
+            f"{entry.digest[:12]:<14}{meta.city:<16}{meta.isp:<13}"
+            f"{meta.seed:>6d}{meta.scale:>7.2f}  "
+            f"{(meta.config_digest[:8] or '-'):<10}"
+            f"{entry.n_observations:>6d}{entry.n_bytes:>10d}{entry.access:>5d}"
+        )
+    if not entries:
+        lines.append("(store is empty)")
+    lines.append(
+        f"total: {len(entries)} entries, {store.total_bytes()} bytes"
+        + (f" (cap {store.max_bytes})" if store.max_bytes else "")
+    )
+    costs = store.cost_records()
+    if costs:
+        lines.append("")
+        cost_header = (
+            f"{'city':<16}{'isp':<13}{'tasks':>7}{'wall_s':>9}{'pacing':>10}"
+        )
+        lines.extend([cost_header, "-" * len(cost_header)])
+        for record in costs:
+            lines.append(
+                f"{record.city:<16}{record.isp:<13}{record.task_count:>7d}"
+                f"{record.wall_seconds:>9.2f}{record.pacing_time_scale:>10.5f}"
+            )
+        lines.append(f"cost records: {len(costs)}")
     return "\n".join(lines)
 
 

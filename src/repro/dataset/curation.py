@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import hashlib
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
@@ -35,7 +34,7 @@ from ..core.orchestrator import ContainerFleet
 from ..core.workflow import QueryResult
 from ..errors import DatasetError
 from ..exec.base import Executor, resolve_executor
-from ..exec.cache import QueryResultCache, address_cache_key
+from ..exec.cache import QueryResultCache, shard_cache_keys
 from ..exec.schedule import (
     SCHEDULE_MODES,
     ShardCostModel,
@@ -46,6 +45,7 @@ from ..exec.schedule import (
     lpt_order,
     resolve_chunk_tasks,
 )
+from ..exec.spec import ShardSpec, release_city_worlds, seed_city_worlds
 from ..exec.store import ShardCostRecord, ShardMeta
 from ..net.proxy import ResidentialProxyPool
 from ..net.transport import InProcessTransport
@@ -54,7 +54,6 @@ from ..world import (
     CityWorld,
     World,
     WorldConfig,
-    build_city_world,
     offer_resolver,
 )
 from .container import BroadbandDataset
@@ -67,7 +66,9 @@ __all__ = [
     "CurationRunReport",
     "IspOverride",
     "ShardTiming",
+    "curation_base_digest",
     "hash_address_id",
+    "shard_config_digest",
 ]
 
 
@@ -75,6 +76,56 @@ def hash_address_id(street_line: str, zip_code: str, salt: str) -> str:
     """Privacy-preserving address identifier (salted SHA-256, 16 hex chars)."""
     digest = hashlib.sha256(f"{salt}|{street_line}|{zip_code}".encode()).hexdigest()
     return digest[:16]
+
+
+def curation_base_digest(world_config: WorldConfig, config: "CurationConfig") -> str:
+    """Digest of the world-wide curation inputs every shard shares.
+
+    Per-ISP knobs are deliberately excluded — they enter each shard's
+    digest individually via :func:`shard_config_digest`, so a change
+    scoped to one ISP invalidates only that ISP's shards.  Seed and scale
+    are excluded too: they are part of every address-level cache key
+    already.  A module-level function (not a pipeline method) because
+    remote workers must derive the identical digest from a rehydrated
+    :class:`~repro.exec.spec.ShardSpec` with no pipeline in sight.
+    """
+    parts = (
+        repr(config.sampling),
+        config.salt,
+        repr(world_config.latency),
+        repr(world_config.addresses),
+        repr(world_config.deployment),
+        repr(world_config.offers),
+    )
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+def shard_config_digest(
+    world_config: WorldConfig,
+    config: "CurationConfig",
+    city: str,
+    isp: str,
+    base: str | None = None,
+) -> str:
+    """Config digest of one (city, ISP) shard.
+
+    Combines the world-wide base digest with the shard coordinates and
+    the *effective* per-ISP knobs (fleet size, politeness).  This is the
+    unit of incremental re-curation: a shard whose digest is unchanged is
+    loaded from cache; a changed digest means stale and the shard — only
+    that shard — is re-dispatched.  ``base`` can be passed to amortize
+    the base-digest hash over a run's shards.
+    """
+    if base is None:
+        base = curation_base_digest(world_config, config)
+    parts = (
+        base,
+        city,
+        isp,
+        str(config.effective_n_workers(isp)),
+        repr(config.effective_politeness(isp)),
+    )
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -358,60 +409,13 @@ def _shard_observations(
 
 
 # ----------------------------------------------------------------------
-# Process-backend entry point
+# Dispatch plumbing
 # ----------------------------------------------------------------------
-
-# Worker-process memo of rebuilt cities: shards of the same city landing in
-# the same process pay the ground-truth rebuild once.
-_CITY_WORLD_MEMO: dict[tuple[WorldConfig, str], CityWorld] = {}
-
-
-@dataclass(frozen=True)
-class _ShardJob:
-    """Self-contained, picklable description of one dispatch unit's work.
-
-    ``tasks`` is the unit's pre-sliced span of the shard's canonical task
-    list (the parent already sampled it; re-sampling the whole city once
-    per chunk in the worker would tax chunking with exactly the
-    city-size-proportional setup it exists to avoid).  ``start``/``stop``
-    document the span and serve as the fallback slice when ``tasks`` is
-    not supplied.
-    """
-
-    world_config: WorldConfig
-    city: str
-    isp: str
-    config: CurationConfig
-    start: int = 0
-    stop: int | None = None
-    tasks: tuple[NoisyAddress, ...] | None = None
-
-
-def _run_shard_job(job: _ShardJob) -> tuple[tuple[AddressObservation, ...], float]:
-    """Top-level dispatch-unit runner (picklable; used by every backend).
-
-    In a worker process the city's ground truth is rebuilt from the world
-    configuration — :func:`repro.world.build_city_world` is a pure function
-    of ``(config, city)``, so the rebuild is indistinguishable from the
-    parent's copy and the observations come out byte-identical.  Returns
-    the unit's observations plus its wall time (measured here, inside the
-    worker, so chunk costs sum to the shard's serial replay cost on every
-    backend; task preparation stays outside the timed region to match the
-    thread/serial path, which samples once per shard up front).
-    """
-    memo_key = (job.world_config, job.city)
-    city_world = _CITY_WORLD_MEMO.get(memo_key)
-    if city_world is None:
-        city_world = build_city_world(job.world_config, job.city)
-        _CITY_WORLD_MEMO[memo_key] = city_world
-    tasks = list(job.tasks) if job.tasks is not None else _shard_tasks(
-        city_world, job.isp, job.config.sampling, job.world_config.seed
-    )[job.start : job.stop]
-    started = time.monotonic()
-    observations = _shard_observations(
-        job.world_config, city_world, job.isp, job.config, tasks=tasks
-    )
-    return observations, time.monotonic() - started
+# The dispatch unit itself — the serializable ShardSpec and its
+# run_shard_spec entry point — lives in repro.exec.spec: every backend
+# (including remote workers in other processes on other machines) runs
+# the same entry point over the same pure data.  What remains here is the
+# per-curate() bookkeeping that turns a world + config into specs.
 
 
 @dataclass(frozen=True)
@@ -491,65 +495,6 @@ class CurationPipeline:
         self.last_run: CurationRunReport | None = None
 
     # ------------------------------------------------------------------
-    # Cache keying
-    # ------------------------------------------------------------------
-    def _base_digest(self) -> str:
-        """Digest of the world-wide inputs every shard shares.
-
-        Per-ISP knobs are deliberately excluded — they enter each shard's
-        digest individually via :meth:`_shard_config_digest`, so a change
-        scoped to one ISP invalidates only that ISP's shards.
-        """
-        config = self._world.config
-        parts = (
-            repr(self.config.sampling),
-            self.config.salt,
-            repr(config.latency),
-            repr(config.addresses),
-            repr(config.deployment),
-            repr(config.offers),
-        )
-        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
-
-    def _shard_config_digest(self, city: str, isp: str, base: str) -> str:
-        """Config digest of one (city, ISP) shard.
-
-        Combines the world-wide base digest with the shard coordinates and
-        the *effective* per-ISP knobs (fleet size, politeness).  This is
-        the unit of incremental re-curation: a shard whose digest is
-        unchanged is loaded from cache; a changed digest means stale and
-        the shard — only that shard — is re-dispatched.
-        """
-        parts = (
-            base,
-            city,
-            isp,
-            str(self.config.effective_n_workers(isp)),
-            repr(self.config.effective_politeness(isp)),
-        )
-        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
-
-    def _shard_cache_keys(
-        self, isp: str, tasks: list[NoisyAddress], digest: str
-    ) -> tuple[str, ...]:
-        # Keys address the *canonical* (truth) address: distinct feed
-        # entries can share a noisy public spelling, but never a canonical
-        # one, and for a fixed (seed, scale, config) the noisy spelling —
-        # hence the query outcome — is a pure function of the truth.
-        config = self._world.config
-        return tuple(
-            address_cache_key(
-                isp,
-                entry.truth.street_line(),
-                entry.truth.zip_code,
-                config.seed,
-                config.scale,
-                context_digest=digest,
-            )
-            for entry in tasks
-        )
-
-    # ------------------------------------------------------------------
     # Curation
     # ------------------------------------------------------------------
     def curate(
@@ -577,23 +522,29 @@ class CurationPipeline:
         # Every shard's config digest is computed up front; it decides —
         # together with the address-level keys it feeds — whether the
         # shard is fresh (served from cache) or stale (re-dispatched).
-        # Tasks are always sampled here: the scheduler prices shards by
-        # task count and slices the canonical task list into chunks.
-        base = self._base_digest() if self.cache is not None else ""
+        # Digests are computed even without a coordinator-side cache: they
+        # ride on every dispatched spec, where they scope worker-side
+        # store reuse.  Tasks are always sampled here: the scheduler
+        # prices shards by task count and slices the canonical task list
+        # into chunks.
+        world_config = self._world.config
+        base = curation_base_digest(world_config, self.config)
         plans: list[_ShardPlan] = []
         for city, isp in shards:
             city_world = self._world.city(city)
             keys: tuple[str, ...] = ()
-            digest = ""
+            digest = shard_config_digest(
+                world_config, self.config, city, isp, base=base
+            )
             tasks = tuple(
                 _shard_tasks(
-                    city_world, isp, self.config.sampling,
-                    self._world.config.seed,
+                    city_world, isp, self.config.sampling, world_config.seed
                 )
             )
             if self.cache is not None:
-                digest = self._shard_config_digest(city, isp, base)
-                keys = self._shard_cache_keys(isp, list(tasks), digest)
+                keys = shard_cache_keys(
+                    isp, tasks, world_config.seed, world_config.scale, digest
+                )
             plans.append(
                 _ShardPlan(city, isp, city_world, keys, tasks, digest)
             )
@@ -674,16 +625,14 @@ class CurationPipeline:
         politeness = [
             self.config.effective_politeness(plan.isp) for plan in plans
         ]
+        # The cost model prices whole-shard *specs* — the same pure data a
+        # dispatch unit is made of — so remote dispatchers and this
+        # pipeline reason about identical objects.
         costs = [
-            cost_model.cost(
-                plan.city,
-                plan.isp,
-                len(plan.tasks or ()),
-                politeness[i],
-                config_digest=plan.config_digest,
-                pacing_time_scale=self.config.pacing_time_scale,
+            cost_model.spec_cost(
+                self._whole_shard_spec(plan), task_count=len(plan.tasks or ())
             )
-            for i, plan in enumerate(plans)
+            for plan in plans
         ]
         # Observed costs are real seconds, estimates virtual seconds;
         # rescale the estimates so a mixed set sorts in one unit.
@@ -724,6 +673,19 @@ class CurationPipeline:
             units = [units[index] for index in order]
         return units, predictions
 
+    def _whole_shard_spec(self, plan: _ShardPlan) -> ShardSpec:
+        """The pure-data spec of one pending shard, span = whole shard."""
+        n_tasks = len(plan.tasks or ())
+        return ShardSpec(
+            world=self._world.config,
+            city=plan.city,
+            isp=plan.isp,
+            config=self.config,
+            start=0,
+            stop=n_tasks,
+            config_digest=plan.config_digest,
+        )
+
     def _execute(
         self, plans: list[_ShardPlan]
     ) -> tuple[
@@ -735,79 +697,49 @@ class CurationPipeline:
 
         Shards are priced by the cost model, oversized ones split into
         sub-shard chunks, and the resulting units dispatched longest-first
-        (under ``schedule="lpt"``).  Chunk results merge back in canonical
-        span order, so the returned per-plan observations — hence the
-        dataset — are byte-identical whatever the dispatch order, chunk
-        cap, or backend.
+        (under ``schedule="lpt"``).  Every unit is a serializable
+        :class:`~repro.exec.spec.ShardSpec` handed to the backend's
+        ``map_specs`` — the same entry point whether the spec runs on this
+        thread, in a forked pool, or on a worker machine.  Chunk results
+        merge back in canonical span order, so the returned per-plan
+        observations — hence the dataset — are byte-identical whatever the
+        dispatch order, chunk cap, or backend.
         """
         world_config = self._world.config
         units, predictions = self._schedule_units(plans)
 
-        if self.executor.name == "process":
-            jobs = [
-                _ShardJob(
-                    world_config,
-                    plans[unit.plan_index].city,
-                    plans[unit.plan_index].isp,
-                    self.config,
-                    start=unit.start,
-                    stop=unit.stop,
-                    tasks=(
-                        plans[unit.plan_index].tasks[unit.start : unit.stop]
-                        if plans[unit.plan_index].tasks is not None
-                        else None
-                    ),
-                )
-                for unit in units
-            ]
-            # Pre-seed the city memo with the parent's already-built
-            # cities: fork-started workers inherit it and skip the
-            # rebuild entirely (spawn-started workers rebuild, which is
-            # byte-equivalent).
-            seeded: list[tuple[WorldConfig, str]] = []
-            for plan in plans:
-                memo_key = (world_config, plan.city)
-                if memo_key not in _CITY_WORLD_MEMO:
-                    _CITY_WORLD_MEMO[memo_key] = plan.city_world
-                    seeded.append(memo_key)
-            try:
-                outcomes = self.executor.map(_run_shard_job, jobs)
-            finally:
-                for memo_key in seeded:
-                    _CITY_WORLD_MEMO.pop(memo_key, None)
-        else:
-            def run_unit(
-                unit: _DispatchUnit,
-            ) -> tuple[tuple[AddressObservation, ...], float]:
-                plan = plans[unit.plan_index]
-                started = time.monotonic()
-                tasks = (
-                    list(plan.tasks[unit.start : unit.stop])
-                    if plan.tasks is not None
+        specs = [
+            ShardSpec(
+                world=world_config,
+                city=plans[unit.plan_index].city,
+                isp=plans[unit.plan_index].isp,
+                config=self.config,
+                start=unit.start,
+                stop=unit.stop,
+                config_digest=plans[unit.plan_index].config_digest,
+                # Local fast path: the span is pre-sliced from the tasks
+                # this pipeline already sampled, so no backend re-samples
+                # a city per chunk.  Dropped at the wire for remote
+                # workers, which re-derive the identical sample.
+                tasks=(
+                    plans[unit.plan_index].tasks[unit.start : unit.stop]
+                    if plans[unit.plan_index].tasks is not None
                     else None
-                )
-                observations = _shard_observations(
-                    world_config, plan.city_world, plan.isp, self.config,
-                    tasks=tasks,
-                )
-                return observations, time.monotonic() - started
-
-            if self.executor.name == "async":
-                # Dispatch units become coroutines on one event loop,
-                # bounded by the executor's semaphore.  Shard work on
-                # the in-process transport is CPU-bound, so this is about
-                # protocol coverage and determinism (the parity suite),
-                # not speed — the async wall-clock win lives on the
-                # fleet's real-TCP path, where page fetches actually
-                # await.
-                async def run_unit_async(
-                    unit: _DispatchUnit,
-                ) -> tuple[tuple[AddressObservation, ...], float]:
-                    return run_unit(unit)
-
-                outcomes = self.executor.map(run_unit_async, units)
-            else:
-                outcomes = self.executor.map(run_unit, units)
+                ),
+            )
+            for unit in units
+        ]
+        # Pre-seed the shared city memo with this pipeline's already-built
+        # cities: thread/async/serial spec runs share them outright, and
+        # fork-started process workers inherit the seeded dict
+        # (spawn-started and remote workers rebuild, byte-equivalently).
+        seeded = seed_city_worlds(
+            {(world_config, plan.city): plan.city_world for plan in plans}
+        )
+        try:
+            outcomes = self.executor.map_specs(specs)
+        finally:
+            release_city_worlds(seeded)
 
         # Merge chunk results back per plan in canonical span order, and
         # fold observed wall times into the timing rows.
@@ -841,6 +773,13 @@ class CurationPipeline:
             return
         store = self.cache.store
         for timing, plan in zip(timings, plans):
+            if timing.wall_seconds <= 0.0:
+                # No usable observation — e.g. a remote worker served the
+                # shard's chunks from its store without a recorded
+                # execution cost.  The cost model rejects zero walls
+                # anyway; recording one would only overwrite a genuine
+                # earlier observation.
+                continue
             store.record_cost(
                 ShardCostRecord(
                     city=timing.city,

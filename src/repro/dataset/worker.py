@@ -1,0 +1,290 @@
+"""``python -m repro.dataset worker``: the remote curation worker.
+
+The worker is the serve-loop half of the distributed backend: a
+coordinator (``--backend remote``) ships serialized
+:class:`~repro.exec.spec.ShardSpec` units over :mod:`repro.net.rpc`; the
+worker rehydrates each spec into the exact same city ground truth and
+task sample the coordinator would have built, replays it through
+:func:`~repro.exec.spec.run_shard_spec`, and answers with a
+:class:`~repro.exec.store.DiskShardStore`-format entry blob — the disk
+tier's wire format, which the coordinator promotes straight into its own
+two-tier cache.
+
+With ``--cache-dir`` the worker keeps a disk store of its own: a spec
+whose content-addressed keys are already present is answered from the
+store without replaying a query (``cached: true`` in the reply), so a
+warm worker's cost is the transfer, not the computation.  Several workers
+(and the coordinator) may share one store root — manifest writes are
+serialized by the store's cross-process lock.
+
+Concurrency is connection-shaped: the RPC server runs each connection on
+its own thread, and the coordinator opens as many connections as the
+worker advertises in its ping reply (``--width``).  Spec execution builds
+fresh per-shard state, so concurrent replays never share mutable
+objects; the city/task memos behind them are lock-guarded.
+
+RPC methods served:
+
+========= ============================================================
+``ping``      ``{"ok", "width", "store", "pid", "specs_run"}``
+``run_shard`` ``{"spec": <wire spec>}`` -> ``{"entry", "wall_seconds",
+              "cached"}``
+``stats``     running counters (specs run, cache hits, store size)
+``shutdown``  acknowledges, then stops the serve loop
+========= ============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from dataclasses import replace
+from pathlib import Path
+
+from ..exec.base import default_max_workers
+from ..exec.spec import (
+    ShardSpec,
+    full_shard_tasks,
+    run_shard_spec,
+    spec_cache_keys,
+    spec_from_wire,
+)
+from ..exec.store import (
+    STORE_VERSION,
+    DiskShardStore,
+    ShardCostRecord,
+    ShardMeta,
+    observation_to_dict,
+    shard_digest,
+)
+from ..net.rpc import RpcServer
+
+__all__ = ["WorkerState", "worker_main"]
+
+
+class WorkerState:
+    """Counters + optional disk store shared by the RPC handlers."""
+
+    def __init__(
+        self,
+        width: int,
+        store: DiskShardStore | None = None,
+        exit_after: int | None = None,
+    ) -> None:
+        self.width = width
+        self.store = store
+        self.exit_after = exit_after
+        self.specs_run = 0
+        self.cache_hits = 0
+        self.requests = 0
+        self.lock = threading.Lock()
+        self.shutdown = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def handle_ping(self, _payload: dict) -> dict:
+        return {
+            "ok": True,
+            "width": self.width,
+            "store": self.store is not None,
+            "pid": os.getpid(),
+            "specs_run": self.specs_run,
+        }
+
+    def handle_stats(self, _payload: dict) -> dict:
+        reply = {
+            "specs_run": self.specs_run,
+            "cache_hits": self.cache_hits,
+            "requests": self.requests,
+        }
+        if self.store is not None:
+            reply["store_entries"] = len(self.store)
+            reply["store_bytes"] = self.store.total_bytes()
+        return reply
+
+    def handle_shutdown(self, _payload: dict) -> dict:
+        self.shutdown.set()
+        return {"ok": True}
+
+    def handle_run_shard(self, payload: dict) -> dict:
+        with self.lock:
+            self.requests += 1
+            if (
+                self.exit_after is not None
+                and self.requests > self.exit_after
+            ):
+                # Chaos hook for the re-queue regression tests: die the
+                # hard way, mid-request, without answering — exactly what
+                # an OOM-killed or power-cycled worker looks like.
+                os._exit(17)
+        spec = spec_from_wire(payload["spec"])
+        tasks = full_shard_tasks(spec)[spec.start : spec.stop]
+        # An empty config digest means the coordinator could not scope
+        # this spec to a configuration; serving or storing it would risk
+        # cross-configuration aliasing, so caching is skipped entirely.
+        keys = (
+            spec_cache_keys(spec, tasks) if spec.config_digest else ()
+        )
+
+        if self.store is not None and keys:
+            stored = self.store.get(keys)
+            if stored is not None and len(stored) == len(keys):
+                with self.lock:
+                    self.cache_hits += 1
+                return self._reply(
+                    spec, keys, stored, self._stored_wall(spec, tasks), True
+                )
+
+        observations, wall_seconds = run_shard_spec(
+            replace(spec, tasks=tuple(tasks))
+        )
+        with self.lock:
+            self.specs_run += 1
+        if self.store is not None and keys:
+            self.store.put(
+                keys,
+                observations,
+                meta=ShardMeta(
+                    city=spec.city,
+                    isp=spec.isp,
+                    seed=spec.world.seed,
+                    scale=spec.world.scale,
+                    config_digest=spec.config_digest,
+                ),
+            )
+            if len(tasks) == len(full_shard_tasks(spec)):
+                # Whole-shard observation: remember its serial replay
+                # cost so later cache hits can report the *execution*
+                # wall time (the number the coordinator's cost model
+                # wants), not the microseconds the lookup took.
+                self.store.record_cost(
+                    ShardCostRecord(
+                        city=spec.city,
+                        isp=spec.isp,
+                        config_digest=spec.config_digest,
+                        wall_seconds=wall_seconds,
+                        task_count=len(tasks),
+                        pacing_time_scale=spec.config.pacing_time_scale,
+                    )
+                )
+                self.store.flush()
+        return self._reply(spec, keys, observations, wall_seconds, False)
+
+    # ------------------------------------------------------------------
+    def _stored_wall(self, spec: ShardSpec, tasks) -> float:
+        """Best-effort execution cost of a cache-served spec."""
+        if self.store is None:
+            return 0.0
+        record = self.store.cost_for(spec.city, spec.isp)
+        if (
+            record is not None
+            and record.config_digest == spec.config_digest
+            and record.task_count == len(tasks)
+            and record.pacing_time_scale == spec.config.pacing_time_scale
+        ):
+            return record.wall_seconds
+        return 0.0
+
+    @staticmethod
+    def _reply(
+        spec: ShardSpec, keys, observations, wall_seconds: float, cached: bool
+    ) -> dict:
+        return {
+            "entry": {
+                "version": STORE_VERSION,
+                "digest": shard_digest(keys) if keys else "",
+                "keys": list(keys),
+                "meta": {
+                    "city": spec.city,
+                    "isp": spec.isp,
+                    "seed": spec.world.seed,
+                    "scale": spec.world.scale,
+                    "config_digest": spec.config_digest,
+                },
+                "observations": [
+                    observation_to_dict(obs) for obs in observations
+                ],
+            },
+            "wall_seconds": wall_seconds,
+            "cached": cached,
+        }
+
+
+def worker_main(argv: list[str]) -> int:
+    """Entry point for the ``worker`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dataset worker",
+        description="Serve curation shard specs to a remote-backend "
+                    "coordinator (`--backend remote "
+                    "--remote-workers host:port,...`).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: loopback)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to bind (default 0: let the OS pick; "
+                             "the bound address is printed on stdout)")
+    parser.add_argument("--width", type=int, default=None,
+                        help="how many specs this worker runs "
+                             "concurrently — advertised to coordinators, "
+                             "which open that many connections (default: "
+                             "the host's CPU count, floored at two)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="optional on-disk shard store: specs whose "
+                             "keys are already present are served "
+                             "without replaying a query.  May be shared "
+                             "with other workers/the coordinator")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="LRU byte cap for the worker store")
+    parser.add_argument("--exit-after", type=int, default=None,
+                        help=argparse.SUPPRESS)  # chaos hook for tests
+    args = parser.parse_args(argv)
+
+    width = args.width if args.width is not None else default_max_workers()
+    if width < 1:
+        parser.error("--width must be >= 1")
+    store = (
+        DiskShardStore(args.cache_dir, max_bytes=args.cache_max_bytes)
+        if args.cache_dir is not None
+        else None
+    )
+    state = WorkerState(width, store=store, exit_after=args.exit_after)
+    server = RpcServer(
+        {
+            "ping": state.handle_ping,
+            "run_shard": state.handle_run_shard,
+            "stats": state.handle_stats,
+            "shutdown": state.handle_shutdown,
+        },
+        host=args.host,
+        port=args.port,
+    )
+    server.start()
+    host, port = server.address
+    print(
+        f"repro worker pid {os.getpid()} listening on {host}:{port} "
+        f"(width {width}, store: "
+        f"{store.root if store is not None else 'none'})",
+        flush=True,
+    )
+    try:
+        while not state.shutdown.is_set():
+            state.shutdown.wait(timeout=0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if store is not None:
+            store.flush()
+    print(
+        f"repro worker pid {os.getpid()} stopped after {state.specs_run} "
+        f"specs ({state.cache_hits} cache hits)",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(worker_main(sys.argv[1:]))

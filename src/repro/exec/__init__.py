@@ -31,8 +31,20 @@ from .base import (
     default_max_workers,
     resolve_executor,
 )
-from .cache import CacheStats, QueryResultCache, address_cache_key
+from .cache import (
+    CacheStats,
+    QueryResultCache,
+    address_cache_key,
+    shard_cache_keys,
+)
 from .processes import ProcessPoolBackend
+from .remote import (
+    DistributedExecutor,
+    WorkerInfo,
+    default_remote_workers,
+    local_worker_pool,
+    parse_worker_addresses,
+)
 from .schedule import (
     SCHEDULE_MODES,
     ShardCost,
@@ -45,6 +57,13 @@ from .schedule import (
     resolve_chunk_tasks,
 )
 from .serial import SerialExecutor
+from .spec import (
+    ShardSpec,
+    run_shard_spec,
+    spec_cache_keys,
+    spec_from_wire,
+    spec_to_wire,
+)
 from .store import (
     STORE_VERSION,
     DiskShardStore,
@@ -54,6 +73,8 @@ from .store import (
     build_result_cache,
     default_cache_dir,
     default_cache_max_bytes,
+    observation_from_dict,
+    observation_to_dict,
     shard_digest,
 )
 from .threads import ThreadPoolBackend
@@ -69,9 +90,20 @@ __all__ = [
     "ProcessPoolBackend",
     "AsyncExecutor",
     "DEFAULT_ASYNC_CONCURRENCY",
+    "DistributedExecutor",
+    "WorkerInfo",
+    "default_remote_workers",
+    "local_worker_pool",
+    "parse_worker_addresses",
+    "ShardSpec",
+    "run_shard_spec",
+    "spec_cache_keys",
+    "spec_from_wire",
+    "spec_to_wire",
     "CacheStats",
     "QueryResultCache",
     "address_cache_key",
+    "shard_cache_keys",
     "STORE_VERSION",
     "DiskShardStore",
     "ShardMeta",
@@ -80,6 +112,8 @@ __all__ = [
     "build_result_cache",
     "default_cache_dir",
     "default_cache_max_bytes",
+    "observation_from_dict",
+    "observation_to_dict",
     "shard_digest",
     "SCHEDULE_MODES",
     "ShardCost",

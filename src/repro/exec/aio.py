@@ -103,5 +103,20 @@ class AsyncExecutor(Executor):
                 raise outcome
         return list(outcomes)
 
+    def map_specs(self, specs):
+        """Run shard specs as semaphore-bounded coroutines on one loop.
+
+        Spec replay on the in-process transport is CPU-bound, so this is
+        about protocol coverage and determinism (the parity suite), not
+        speed — but wrapping the runner in a coroutine keeps the specs on
+        the same bounded-gather machinery as every other async workload.
+        """
+        from .spec import run_shard_spec
+
+        async def run(spec):
+            return run_shard_spec(spec)
+
+        return self.map(run, list(specs))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AsyncExecutor(max_concurrency={self.max_concurrency})"

@@ -19,7 +19,12 @@ implement it:
   fleet on one asyncio event loop; the cheapest way to overlap thousands
   of I/O-bound work items (the async-TCP query path).  Coroutine work
   functions run concurrently; synchronous ones degrade to an in-order
-  loop.
+  loop;
+* :class:`~repro.exec.remote.DistributedExecutor` — shard specs shipped
+  over RPC to ``python -m repro.dataset worker`` processes on any
+  machine (``REPRO_REMOTE_WORKERS`` / ``--remote-workers``).  Only
+  :meth:`Executor.map_specs` distributes; generic :meth:`Executor.map`
+  work runs locally.
 
 Because the parallel unit everywhere in the library is a *deterministic
 shard* (a pure function of configuration and derived seed), the choice of
@@ -31,9 +36,13 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dataset.records import AddressObservation
+    from .spec import ShardSpec
 
 __all__ = [
     "Executor",
@@ -95,6 +104,24 @@ class Executor(ABC):
         """
         return int(getattr(self, "max_workers", 1))
 
+    def map_specs(
+        self, specs: "Sequence[ShardSpec]"
+    ) -> "list[tuple[tuple[AddressObservation, ...], float]]":
+        """Execute curation shard specs, results in spec order.
+
+        The spec-shaped sibling of :meth:`map`: every dispatch unit the
+        curation pipeline hands an executor is a serializable
+        :class:`~repro.exec.spec.ShardSpec`, and this is where a backend
+        decides how to run them.  The default routes through
+        :func:`~repro.exec.spec.run_shard_spec` on the backend's own
+        :meth:`map` — correct for every in-process backend (and the
+        process pool, since specs pickle).  The remote backend overrides
+        this to ship specs to worker machines instead.
+        """
+        from .spec import run_shard_spec
+
+        return self.map(run_shard_spec, list(specs))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -104,6 +131,7 @@ def _backend_factories() -> dict[str, Callable[..., Executor]]:
     # concrete backends (which import ``base`` themselves).
     from .aio import AsyncExecutor
     from .processes import ProcessPoolBackend
+    from .remote import DistributedExecutor
     from .serial import SerialExecutor
     from .threads import ThreadPoolBackend
 
@@ -112,12 +140,17 @@ def _backend_factories() -> dict[str, Callable[..., Executor]]:
         "thread": ThreadPoolBackend,
         "process": ProcessPoolBackend,
         "async": AsyncExecutor,
+        "remote": DistributedExecutor,
     }
 
 
 #: Names accepted by :func:`resolve_executor` (and the ``--backend`` CLI
-#: flags / ``REPRO_EXEC_BACKEND`` environment variable).
-EXECUTOR_BACKENDS: tuple[str, ...] = ("serial", "thread", "process", "async")
+#: flags / ``REPRO_EXEC_BACKEND`` environment variable).  The ``remote``
+#: backend additionally needs worker addresses (``REPRO_REMOTE_WORKERS``
+#: or the ``--remote-workers`` CLI flag).
+EXECUTOR_BACKENDS: tuple[str, ...] = (
+    "serial", "thread", "process", "async", "remote",
+)
 
 
 def resolve_executor(

@@ -38,9 +38,15 @@ from ..errors import ConfigurationError
 from .store import DiskShardStore, ShardMeta
 
 if TYPE_CHECKING:  # runtime-lazy: repro.dataset imports this module back
+    from ..addresses.noise import NoisyAddress
     from ..dataset.records import AddressObservation
 
-__all__ = ["CacheStats", "QueryResultCache", "address_cache_key"]
+__all__ = [
+    "CacheStats",
+    "QueryResultCache",
+    "address_cache_key",
+    "shard_cache_keys",
+]
 
 
 def address_cache_key(
@@ -74,6 +80,36 @@ def address_cache_key(
         hasher.update(part.encode("utf-8"))
         hasher.update(b"\x1f")
     return hasher.hexdigest()
+
+
+def shard_cache_keys(
+    isp: str,
+    tasks: "Sequence[NoisyAddress]",
+    world_seed: int,
+    scale: float,
+    config_digest: str,
+) -> tuple[str, ...]:
+    """Content-addressed keys for one shard span's task list, in order.
+
+    Keys address the *canonical* (truth) address: distinct feed entries
+    can share a noisy public spelling, but never a canonical one, and for
+    a fixed (seed, scale, config) the noisy spelling — hence the query
+    outcome — is a pure function of the truth.  This is the one place the
+    key stream is derived; the coordinator pipeline and remote workers
+    both call it, which is what makes their store entries mutually
+    addressable.
+    """
+    return tuple(
+        address_cache_key(
+            isp,
+            entry.truth.street_line(),
+            entry.truth.zip_code,
+            world_seed,
+            scale,
+            context_digest=config_digest,
+        )
+        for entry in tasks
+    )
 
 
 @dataclass

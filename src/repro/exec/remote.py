@@ -1,0 +1,462 @@
+"""Distributed execution backend: shard specs over coordinator/worker RPC.
+
+The paper's measurement campaign is embarrassingly parallel across
+(city, ISP) shards, and since the spec refactor a dispatch unit is pure
+data (:class:`~repro.exec.spec.ShardSpec`) that any process on any
+machine rehydrates into byte-identical work.  This module is the
+coordinator half of shipping those specs off-machine:
+
+* :class:`DistributedExecutor` (registry name ``"remote"``) fans specs
+  out to ``python -m repro.dataset worker`` processes over
+  :mod:`repro.net.rpc`;
+* each worker advertises a **width** (how many specs it runs at once) in
+  its ping reply, and the dispatcher opens that many keep-alive
+  connections to it — per-worker concurrency is expressed as
+  connections, nothing more;
+* the shared work queue is consumed in the order the curation pipeline
+  dispatched (longest-processing-time-first under ``schedule="lpt"``,
+  priced by the PR-4 cost model), so greedy pulling by heterogeneous
+  workers *is* LPT list scheduling: wide/fast workers simply pull more;
+* results come back as :class:`~repro.exec.store.DiskShardStore`-format
+  entry blobs — the disk tier's wire format — which the pipeline promotes
+  into the coordinator's two-tier cache exactly as if a local backend had
+  executed them;
+* a worker that dies mid-run (connection lost) has its in-flight spec
+  **re-queued** at the front of the queue for the surviving workers;
+  specs are idempotent pure functions, so re-running one elsewhere is
+  always safe.  Only when *every* worker is gone with work still pending
+  does the run fail.
+
+Generic :meth:`Executor.map` work — closures over live objects — cannot
+cross a machine boundary and is deliberately **not** shipped: it degrades
+to a local in-order loop, so a process-wide ``REPRO_EXEC_BACKEND=remote``
+still runs every non-spec consumer correctly (and the curation pipeline,
+the only spec producer, is the only thing that actually distributes).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import subprocess
+import sys
+import threading
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence, TypeVar
+
+from ..errors import ConfigurationError, TransportError
+from ..net.rpc import RpcClient, RpcRemoteError
+from .base import Executor
+from .spec import spec_to_wire
+from .store import observation_from_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dataset.records import AddressObservation
+    from .spec import ShardSpec
+
+__all__ = [
+    "DistributedExecutor",
+    "WorkerInfo",
+    "default_remote_workers",
+    "local_worker_pool",
+    "parse_worker_addresses",
+]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+#: Environment variable naming the worker fleet as a comma-separated list
+#: of ``host:port`` addresses (the ``--remote-workers`` CLI flag
+#: overrides it).
+REMOTE_WORKERS_ENV = "REPRO_REMOTE_WORKERS"
+
+
+def parse_worker_addresses(raw: str) -> tuple[tuple[str, int], ...]:
+    """Parse ``host:port,host:port,...`` into address tuples.
+
+    >>> parse_worker_addresses("127.0.0.1:7071, 127.0.0.1:7072")
+    (('127.0.0.1', 7071), ('127.0.0.1', 7072))
+    """
+    addresses: list[tuple[str, int]] = []
+    for piece in raw.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        host, _, port = piece.rpartition(":")
+        if not host:
+            raise ConfigurationError(
+                f"worker address {piece!r} is not host:port"
+            )
+        try:
+            addresses.append((host, int(port)))
+        except ValueError:
+            raise ConfigurationError(
+                f"worker address {piece!r} has a non-integer port"
+            ) from None
+    return tuple(addresses)
+
+
+def default_remote_workers() -> tuple[tuple[str, int], ...]:
+    """Worker addresses from ``REPRO_REMOTE_WORKERS`` (empty when unset)."""
+    return parse_worker_addresses(os.environ.get(REMOTE_WORKERS_ENV, ""))
+
+
+@dataclass
+class WorkerInfo:
+    """One worker as the dispatcher sees it."""
+
+    address: tuple[str, int]
+    width: int = 1
+    alive: bool = True
+    has_store: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+
+class DistributedExecutor(Executor):
+    """Executes shard specs on a fleet of remote worker processes.
+
+    Args:
+        workers: Worker addresses — a ``host:port,...`` string, a
+            sequence of such strings, or ``(host, port)`` tuples.  None
+            reads ``REPRO_REMOTE_WORKERS`` (how ``--backend remote``
+            resolves); an empty fleet is a configuration error.
+        call_timeout: Per-RPC socket timeout, seconds.  One RPC executes
+            one spec, so this bounds a single dispatch unit's wall time.
+        max_workers: Accepted for registry symmetry; ignored (per-worker
+            concurrency is whatever each worker advertises).
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: "Sequence[tuple[str, int] | str] | str | None" = None,
+        call_timeout: float = 600.0,
+        max_workers: int | None = None,
+    ) -> None:
+        del max_workers  # width comes from the workers themselves
+        if workers is None:
+            addresses = default_remote_workers()
+            if not addresses:
+                raise ConfigurationError(
+                    "the remote backend needs worker addresses: set "
+                    f"{REMOTE_WORKERS_ENV} or pass --remote-workers "
+                    "host:port,... (start workers with "
+                    "`python -m repro.dataset worker`)"
+                )
+        elif isinstance(workers, str):
+            addresses = parse_worker_addresses(workers)
+        else:
+            flat: list[tuple[str, int]] = []
+            for worker in workers:
+                if isinstance(worker, str):
+                    flat.extend(parse_worker_addresses(worker))
+                else:
+                    flat.append((worker[0], int(worker[1])))
+            addresses = tuple(flat)
+        if not addresses:
+            raise ConfigurationError("the remote backend needs >= 1 worker")
+        self.call_timeout = call_timeout
+        self._workers = [WorkerInfo(address) for address in addresses]
+        self._probed = False
+        self._probe_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def _probe(self) -> list[WorkerInfo]:
+        """Ping every worker once; returns the live ones.
+
+        Unreachable workers are marked dead and skipped (the fleet may
+        legitimately be configured before every machine is up); they are
+        not re-probed — a worker that comes back mid-run simply goes
+        unused until the next executor is built.
+        """
+        with self._probe_lock:
+            if not self._probed:
+                for worker in self._workers:
+                    try:
+                        with RpcClient(worker.address, timeout=5.0) as client:
+                            reply = client.call("ping")
+                        worker.width = max(1, int(reply.get("width", 1)))
+                        worker.has_store = bool(reply.get("store", False))
+                        worker.alive = True
+                    except (TransportError, RpcRemoteError, ValueError):
+                        worker.alive = False
+                self._probed = True
+            return [worker for worker in self._workers if worker.alive]
+
+    @property
+    def workers(self) -> tuple[WorkerInfo, ...]:
+        """The configured fleet (probing state included)."""
+        return tuple(self._workers)
+
+    @property
+    def width(self) -> int:
+        """Total advertised fleet concurrency (drives ``auto`` chunking)."""
+        live = self._probe()
+        return max(1, sum(worker.width for worker in live))
+
+    # ------------------------------------------------------------------
+    # Executor protocol
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[_ItemT], _ResultT],
+        items: Sequence[_ItemT],
+    ) -> list[_ResultT]:
+        """Generic work runs locally, in order.
+
+        Closures cannot cross a machine boundary; only shard specs
+        (:meth:`map_specs`) distribute.  Degrading to the serial
+        reference keeps non-spec consumers (fleet batching, contract
+        tests) correct under a process-wide remote default.
+        """
+        return [fn(item) for item in items]
+
+    def map_specs(
+        self, specs: "Sequence[ShardSpec]"
+    ) -> "list[tuple[tuple[AddressObservation, ...], float]]":
+        specs = list(specs)
+        if not specs:
+            return []
+        live = self._probe()
+        if not live:
+            raise TransportError(
+                "no remote worker is reachable: "
+                + ", ".join(worker.label for worker in self._workers)
+            )
+
+        state = _DispatchState(specs)
+        plan = [
+            (worker, slot)
+            for worker in live
+            for slot in range(min(worker.width, len(specs)))
+        ]
+        # Counted before any thread starts, so a fast-exiting dispatcher
+        # cannot race the bookkeeping below zero.
+        state.live_threads = len(plan)
+        threads: list[threading.Thread] = []
+        for worker, slot in plan:
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(worker, state),
+                name=f"remote-{worker.label}-{slot}",
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        with state.cv:
+            while state.unfinished > 0 and state.error is None:
+                if state.live_threads == 0:
+                    raise TransportError(
+                        f"{state.unfinished} shard specs left undispatched: "
+                        "every remote worker failed mid-run"
+                    )
+                state.cv.wait(timeout=0.5)
+            if state.error is not None:
+                raise state.error
+        for thread in threads:
+            thread.join(timeout=5.0)
+        return state.results  # type: ignore[return-value]
+
+    def _dispatch_loop(self, worker: WorkerInfo, state: "_DispatchState") -> None:
+        client = RpcClient(worker.address, timeout=self.call_timeout)
+        index: int | None = None
+        try:
+            while True:
+                with state.cv:
+                    while not state.pending:
+                        if state.unfinished == 0 or state.error is not None:
+                            return
+                        # Work may flow back into the queue if another
+                        # worker dies with specs in flight; wait for it.
+                        state.cv.wait(timeout=0.1)
+                    index = state.pending.popleft()
+                spec = state.specs[index]
+                try:
+                    reply = client.call(
+                        "run_shard", {"spec": spec_to_wire(spec)}
+                    )
+                    outcome = _decode_run_reply(reply)
+                except RpcRemoteError as exc:
+                    # Deterministic remote failure: retrying on another
+                    # worker would fail identically — surface it.
+                    with state.cv:
+                        state.error = exc
+                        state.cv.notify_all()
+                    return
+                except (TransportError, OSError):
+                    # The worker (or the path to it) died; put the
+                    # in-flight spec back at the *front* — under LPT
+                    # ordering it is likely long — and retire this
+                    # connection.  Sibling connections to the same worker
+                    # fail the same way on their next call.
+                    worker.alive = False
+                    with state.cv:
+                        state.pending.appendleft(index)
+                        state.cv.notify_all()
+                    return
+                except Exception as exc:  # noqa: BLE001 - must not hang
+                    # Anything else (an unserializable config, a decode
+                    # bug) is deterministic coordinator-side: letting the
+                    # thread die silently would strand the in-flight spec
+                    # and hang map_specs, so surface it like a remote
+                    # application error.
+                    with state.cv:
+                        state.error = exc
+                        state.cv.notify_all()
+                    return
+                with state.cv:
+                    state.results[index] = outcome
+                    state.unfinished -= 1
+                    index = None
+                    state.cv.notify_all()
+        finally:
+            client.close()
+            with state.cv:
+                state.live_threads -= 1
+                state.cv.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fleet = ",".join(worker.label for worker in self._workers)
+        return f"DistributedExecutor(workers=[{fleet}])"
+
+
+class _DispatchState:
+    """Shared queue/results/accounting for one ``map_specs`` call."""
+
+    def __init__(self, specs: "list[ShardSpec]") -> None:
+        self.specs = specs
+        self.pending: deque[int] = deque(range(len(specs)))
+        self.results: "list[tuple[tuple[AddressObservation, ...], float] | None]" = (
+            [None] * len(specs)
+        )
+        self.unfinished = len(specs)
+        self.live_threads = 0
+        self.error: BaseException | None = None
+        self.cv = threading.Condition()
+
+
+def _decode_run_reply(
+    reply: dict,
+) -> "tuple[tuple[AddressObservation, ...], float]":
+    """Decode a worker's ``run_shard`` reply (a store-format entry blob)."""
+    try:
+        entry = reply["entry"]
+        rows = entry["observations"]
+        observations = tuple(observation_from_dict(row) for row in rows)
+        wall_seconds = float(reply.get("wall_seconds", 0.0))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TransportError(f"malformed run_shard reply: {exc}") from exc
+    return observations, wall_seconds
+
+
+# ----------------------------------------------------------------------
+# Loopback fleets (tests, benchmarks, quick starts)
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def local_worker_pool(
+    count: int = 2,
+    width: int = 2,
+    cache_dir: "str | Path | None" = None,
+    extra_args: Sequence[str] = (),
+    startup_timeout: float = 60.0,
+) -> Iterator[tuple[tuple[str, int], ...]]:
+    """Spawn ``count`` loopback worker processes; yields their addresses.
+
+    The zero-config way to try (and test) the remote backend on one
+    machine::
+
+        with local_worker_pool(count=2, width=4) as addresses:
+            executor = DistributedExecutor(workers=addresses)
+            ...
+
+    Workers bind port 0 and print their bound address on stdout, which is
+    parsed here; ``cache_dir`` hands every worker the *same* store root
+    (exercising the cross-process manifest lock).  Workers are terminated
+    on exit.
+    """
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parents[1]
+    existing = os.environ.get("PYTHONPATH", "")
+    env = dict(
+        os.environ,
+        PYTHONPATH=(
+            f"{src_root}{os.pathsep}{existing}" if existing else str(src_root)
+        ),
+    )
+    procs: list[subprocess.Popen] = []
+    addresses: list[tuple[str, int]] = []
+    try:
+        for _ in range(count):
+            command = [
+                sys.executable, "-m", "repro.dataset", "worker",
+                "--host", "127.0.0.1", "--port", "0",
+                "--width", str(width),
+            ]
+            if cache_dir is not None:
+                command += ["--cache-dir", str(cache_dir)]
+            command += list(extra_args)
+            proc = subprocess.Popen(
+                command,
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+            )
+            procs.append(proc)
+        for proc in procs:
+            addresses.append(_await_worker_banner(proc, startup_timeout))
+        yield tuple(addresses)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                proc.kill()
+                proc.wait(timeout=10.0)
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+
+def _await_worker_banner(
+    proc: subprocess.Popen, timeout: float
+) -> tuple[str, int]:
+    """Parse ``... listening on host:port`` from a worker's stdout.
+
+    Bounded by ``timeout`` even against a worker that hangs without
+    printing anything: the pipe is polled with ``select`` so a blocked
+    ``readline`` can never outlive the deadline.
+    """
+    import select as _select
+    import time as _time
+
+    deadline = _time.monotonic() + timeout
+    assert proc.stdout is not None
+    while _time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise TransportError(
+                f"worker exited with {proc.returncode} before listening"
+            )
+        ready, _, _ = _select.select([proc.stdout], [], [], 0.2)
+        if not ready:
+            continue
+        line = proc.stdout.readline()
+        if not line:
+            continue
+        marker = " listening on "
+        if marker in line:
+            address = line.rsplit(marker, 1)[1].strip().split()[0]
+            host, _, port = address.rpartition(":")
+            return (host, int(port))
+    raise TransportError("worker did not announce a listening address in time")

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Sequence
 from ..errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .spec import ShardSpec
     from .store import DiskShardStore
 
 __all__ = [
@@ -173,6 +174,34 @@ class ShardCostModel:
             seconds=self.estimate(task_count, politeness_seconds),
             task_count=task_count,
             source="estimated",
+        )
+
+    def spec_cost(self, spec: "ShardSpec", task_count: int | None = None) -> ShardCost:
+        """Price a :class:`~repro.exec.spec.ShardSpec` dispatch unit.
+
+        Since the spec refactor the scheduler prices *specs*, not live
+        shard plans: everything the cost model needs — coordinates,
+        effective politeness, pacing regime, config digest — is already
+        pure data on the spec.  ``task_count`` may be supplied when the
+        caller knows the span size without materializing tasks; otherwise
+        it is read off the spec's span (which must then be concrete).
+        """
+        if task_count is None:
+            if spec.tasks is not None:
+                task_count = len(spec.tasks)
+            elif spec.stop is not None:
+                task_count = max(0, spec.stop - spec.start)
+            else:
+                raise ConfigurationError(
+                    "cannot price an open-ended spec span without task_count"
+                )
+        return self.cost(
+            spec.city,
+            spec.isp,
+            task_count,
+            spec.config.effective_politeness(spec.isp),
+            config_digest=spec.config_digest,
+            pacing_time_scale=spec.config.pacing_time_scale,
         )
 
     @staticmethod

@@ -36,6 +36,14 @@ Durability rules:
 * **Manifest is advisory.**  Object files are the source of truth: an
   entry present on disk but missing from the manifest (a cross-process
   manifest race, a deleted manifest) is adopted on first read.
+* **Cross-process manifest writes are serialized and merged.**  Several
+  processes share one store root routinely now — a coordinator plus its
+  loopback workers, or CI's warm-cache passes — and each keeps its own
+  in-memory manifest copy.  Every save takes an advisory ``flock`` on
+  ``<root>/manifest.lock`` and *merges* the on-disk manifest into the
+  outgoing one (rows for object files that still exist, cost rows for
+  unknown shards, the larger LRU clock) before the atomic replace, so a
+  last-writer-wins race can no longer drop another process's rows.
 
 The manifest additionally doubles as the curation scheduler's **cost
 model**: every executed shard records its observed wall time and task
@@ -49,6 +57,7 @@ never to an error.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -56,6 +65,11 @@ import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
+
+try:  # POSIX advisory file locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:  # runtime-lazy: repro.dataset imports repro.exec back
     from ..dataset.records import AddressObservation
@@ -70,6 +84,8 @@ __all__ = [
     "default_cache_dir",
     "default_cache_max_bytes",
     "build_result_cache",
+    "observation_to_dict",
+    "observation_from_dict",
 ]
 
 #: Serialization format version.  Bump on any change to the entry schema;
@@ -153,7 +169,15 @@ class ShardCostRecord:
     pacing_time_scale: float = 0.0
 
 
-def _observation_to_dict(obs: "AddressObservation") -> dict:
+def observation_to_dict(obs: "AddressObservation") -> dict:
+    """One observation as the JSON row the store entry format carries.
+
+    Public because the entry format doubles as the coordinator/worker
+    wire format: remote workers serialize freshly executed observations
+    with this and the coordinator rehydrates them with
+    :func:`observation_from_dict` — the same bytes either way as a
+    disk-store round trip.
+    """
     return {
         "address_id": obs.address_id,
         "city": obs.city,
@@ -173,7 +197,7 @@ def _observation_to_dict(obs: "AddressObservation") -> dict:
     }
 
 
-def _observation_from_dict(row: dict) -> "AddressObservation":
+def observation_from_dict(row: dict) -> "AddressObservation":
     from ..dataset.records import AddressObservation, PlanObservation
 
     return AddressObservation(
@@ -215,6 +239,7 @@ class DiskShardStore:
         self._lock = threading.Lock()
         self._objects = self.root / "objects"
         self._manifest_path = self.root / "manifest.json"
+        self._lock_path = self.root / "manifest.lock"
         self._manifest = self._load_manifest()
         self._tmp_counter = 0
         self._dirty = False
@@ -289,7 +314,7 @@ class DiskShardStore:
                 return None
             try:
                 observations = tuple(
-                    _observation_from_dict(row) for row in payload["observations"]
+                    observation_from_dict(row) for row in payload["observations"]
                 )
             except (KeyError, TypeError, ValueError):
                 self._drop_entry(digest, path)
@@ -317,7 +342,7 @@ class DiskShardStore:
         keys = list(keys)
         digest = shard_digest(keys)
         meta = meta or ShardMeta()
-        rows = [_observation_to_dict(obs) for obs in observations]
+        rows = [observation_to_dict(obs) for obs in observations]
         payload = {
             "version": STORE_VERSION,
             "digest": digest,
@@ -349,7 +374,9 @@ class DiskShardStore:
             self._manifest = {
                 "version": STORE_VERSION, "clock": 0, "entries": {}, "costs": {},
             }
-            self._save_manifest()
+            # An explicit purge must win: merging would resurrect rows
+            # another process wrote for the objects just deleted.
+            self._save_manifest(merge=False)
 
     # ------------------------------------------------------------------
     # Cost model (read by repro.exec.schedule)
@@ -515,19 +542,78 @@ class DiskShardStore:
             data["costs"] = {}
         return data
 
-    def _save_manifest(self) -> None:
+    @contextlib.contextmanager
+    def _manifest_file_lock(self):
+        """Advisory cross-process lock around manifest read-modify-write.
+
+        A no-op where :mod:`fcntl` is unavailable (non-POSIX) — there the
+        manifest degrades to the old last-writer-wins behavior, which is
+        still *safe* (objects are the source of truth; lost rows are
+        re-adopted on read), just lossier.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self._lock_path, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _merge_disk_manifest(self) -> None:
+        """Fold another process's manifest rows into the outgoing save.
+
+        Called under both locks, immediately before writing.  Adopts
+        entry rows we do not carry whose object file still exists (a row
+        for a deleted file would be forgotten again on first read
+        anyway), cost rows for shards we have no fresher observation of,
+        and the larger LRU clock — so concurrent writers sharing the
+        root converge on the union instead of the last writer's view.
+        """
+        try:
+            disk = json.loads(self._manifest_path.read_bytes())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            return
+        if (
+            not isinstance(disk, dict)
+            or disk.get("version") != STORE_VERSION
+            or not isinstance(disk.get("entries"), dict)
+        ):
+            return
+        entries = self._manifest["entries"]
+        for digest, row in disk["entries"].items():
+            if digest in entries or not isinstance(row, dict):
+                continue
+            if self._object_path(str(digest)).exists():
+                entries[digest] = row
+        costs = self._manifest.setdefault("costs", {})
+        disk_costs = disk.get("costs")
+        if isinstance(disk_costs, dict):
+            for key, row in disk_costs.items():
+                if key not in costs and isinstance(row, dict):
+                    costs[key] = row
+        disk_clock = disk.get("clock")
+        if isinstance(disk_clock, int) and disk_clock > self._manifest["clock"]:
+            self._manifest["clock"] = disk_clock
+
+    def _save_manifest(self, merge: bool = True) -> None:
         self._dirty = False
         self.root.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(self._manifest, indent=1, sort_keys=True).encode()
-        self._tmp_counter += 1
-        tmp = self._manifest_path.with_name(
-            f".manifest.{os.getpid()}.{self._tmp_counter}.tmp"
-        )
-        try:
-            tmp.write_bytes(blob)
-            os.replace(tmp, self._manifest_path)
-        finally:
-            self._unlink(tmp)
+        with self._manifest_file_lock():
+            if merge:
+                self._merge_disk_manifest()
+            blob = json.dumps(self._manifest, indent=1, sort_keys=True).encode()
+            self._tmp_counter += 1
+            tmp = self._manifest_path.with_name(
+                f".manifest.{os.getpid()}.{self._tmp_counter}.tmp"
+            )
+            try:
+                tmp.write_bytes(blob)
+                os.replace(tmp, self._manifest_path)
+            finally:
+                self._unlink(tmp)
 
     @staticmethod
     def _file_size(path: Path) -> int:

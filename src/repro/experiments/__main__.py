@@ -14,8 +14,11 @@ import sys
 import time
 from pathlib import Path
 
-from ..dataset.cli import add_scheduling_arguments
-from ..exec.base import EXECUTOR_BACKENDS
+from ..dataset.cli import (
+    add_backend_arguments,
+    add_scheduling_arguments,
+    resolve_backend_choice,
+)
 from . import ALL_EXPERIMENTS, get_context
 
 
@@ -31,11 +34,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-block-group sample floor (paper: 30)")
     parser.add_argument("--cities", nargs="*", default=None,
                         help="restrict to specific cities")
-    parser.add_argument("--backend", default=None,
-                        choices=EXECUTOR_BACKENDS,
-                        help="curation execution backend (default: "
-                             "REPRO_EXEC_BACKEND or serial; all backends "
-                             "produce the identical dataset)")
+    add_backend_arguments(parser)
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="on-disk query-result cache root (default: "
                              "REPRO_CACHE_DIR; unset = memory-only cache). "
@@ -49,6 +48,7 @@ def main(argv: list[str] | None = None) -> int:
                         default=Path("benchmarks/output"))
     add_scheduling_arguments(parser)
     args = parser.parse_args(argv)
+    backend = resolve_backend_choice(args)
 
     names = args.only if args.only else sorted(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -64,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         min_samples=args.min_samples,
         cities=tuple(args.cities) if args.cities else None,
-        backend=args.backend,
+        backend=backend,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
         use_cache=not args.no_cache,
         schedule=args.schedule,

@@ -188,8 +188,10 @@ def get_context(
             the paper uses 30 — benches default lower to bound runtime).
         cities: Restrict to a subset of cities (tests); None = all thirty.
         backend: Curation execution backend name (``"serial"``,
-            ``"thread"``, ``"process"``, ``"async"``; None =
-            ``REPRO_EXEC_BACKEND`` or serial).  Every backend yields the
+            ``"thread"``, ``"process"``, ``"async"``, ``"remote"``;
+            None = ``REPRO_EXEC_BACKEND`` or serial; ``"remote"``
+            additionally reads the worker fleet from
+            ``REPRO_REMOTE_WORKERS``).  Every backend yields the
             identical dataset.
         cache_dir: On-disk cache root for the shared result cache (None =
             ``REPRO_CACHE_DIR`` or memory-only).

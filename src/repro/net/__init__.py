@@ -12,6 +12,7 @@ from .http import (
 )
 from .latency import LatencyModel
 from .proxy import ResidentialProxyPool
+from .rpc import RpcClient, RpcError, RpcRemoteError, RpcServer
 from .tcp import TcpBatServer, TcpTransport
 from .transport import RENDER_HEADER, BatServerApp, InProcessTransport, Transport
 
@@ -31,6 +32,10 @@ __all__ = [
     "encode_form",
     "LatencyModel",
     "ResidentialProxyPool",
+    "RpcClient",
+    "RpcError",
+    "RpcRemoteError",
+    "RpcServer",
     "TcpBatServer",
     "TcpTransport",
     "RENDER_HEADER",

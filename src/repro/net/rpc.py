@@ -1,0 +1,379 @@
+"""Length-framed JSON RPC over TCP: the coordinator/worker wire.
+
+The distributed curation backend (:mod:`repro.exec.remote`) and the
+``python -m repro.dataset worker`` serve loop speak this protocol.  It is
+deliberately *not* a new wire format: messages are the same minimal
+HTTP/1.1 messages as everything else in :mod:`repro.net`, split off the
+socket by the one shared framing function
+(:func:`repro.net.http.frame_http_message`) that already serves the BAT
+client/server paths, sync and async.  A call is::
+
+    POST /rpc/<method> HTTP/1.1          ->   HTTP/1.1 200 OK
+    Content-Type: application/json            Content-Type: application/json
+    {...json payload...}                      {...json result...}
+
+Error taxonomy — the split matters to the dispatcher:
+
+* :class:`RpcError` (a :class:`~repro.errors.TransportError`): the
+  *connection* failed — dial refused, socket dropped, response truncated.
+  The remote caller cannot know whether the method ran; shard specs are
+  idempotent pure functions, so the dispatcher re-queues the work on
+  another worker.
+* :class:`RpcRemoteError` (**not** a transport error): the connection is
+  fine and the *handler* raised (or the method is unknown, or the
+  payload malformed).  Deterministic — retrying elsewhere would fail
+  identically — so the dispatcher propagates it to the caller instead of
+  re-queueing.
+
+Connections are keep-alive on both ends: the server serves a
+request-per-loop until the peer closes, and the client keeps its socket
+across calls with the same retry-once-if-the-parked-socket-went-stale
+policy as the sync :class:`~repro.net.tcp.TcpTransport` — a resend is
+attempted only when the failure provably happened *before the server can
+have started the request* (send-phase error, or EOF with zero response
+bytes).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Callable, Mapping
+
+from ..errors import ReproError, TransportError
+from .http import HttpRequest, HttpResponse, frame_http_message
+from .tcp import shutdown_and_close
+
+__all__ = ["RpcClient", "RpcError", "RpcRemoteError", "RpcServer"]
+
+_RECV_CHUNK = 65536
+
+#: Path prefix every RPC method is mounted under.
+RPC_PREFIX = "/rpc/"
+
+
+class RpcError(TransportError):
+    """The RPC connection failed; the call may or may not have run."""
+
+
+class RpcRemoteError(ReproError):
+    """The remote handler failed deterministically; do not retry.
+
+    Attributes:
+        method: RPC method name that failed.
+        status: HTTP status the server answered with (404 unknown method,
+            400 malformed payload, 500 handler exception).
+    """
+
+    def __init__(self, method: str, status: int, message: str) -> None:
+        super().__init__(f"rpc {method!r} failed with {status}: {message}")
+        self.method = method
+        self.status = status
+
+
+class RpcServer:
+    """A threaded TCP server dispatching framed JSON calls to handlers.
+
+    Args:
+        handlers: ``{method name: callable(payload dict) -> result dict}``.
+            Handlers run on the connection's thread; a server with N
+            concurrent client connections runs up to N handlers at once,
+            so handlers must be thread-safe (shard-spec execution is —
+            every spec builds fresh per-shard state).
+        host: Interface to bind (loopback by default).
+        port: Port to bind (0 = let the OS pick; read :attr:`address`).
+
+    Usage::
+
+        server = RpcServer({"ping": lambda payload: {"ok": True}})
+        server.start()
+        ... RpcClient(server.address) ...
+        server.stop()
+    """
+
+    def __init__(
+        self,
+        handlers: Mapping[str, Callable[[dict], dict]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._handlers = dict(handlers)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._running = threading.Event()
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.getsockname()
+
+    def start(self) -> None:
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="rpc-server", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._running.clear()
+        shutdown_and_close(self._listener)
+        # Then every live keep-alive connection, so the port is free for
+        # an immediate rebind and clients see a clean EOF (their next
+        # call retries on a fresh connection).
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            shutdown_and_close(conn)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "RpcServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            # Prune finished handler threads: a long-lived worker serves
+            # one connection per coordinator slot per run, forever.
+            self._threads = [t for t in self._threads if t.is_alive()]
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with self._conns_lock:
+            self._conns.add(conn)
+        try:
+            with conn:
+                buffer = b""
+                while True:
+                    try:
+                        raw, buffer = _read_framed(conn, buffer)
+                    except TransportError:
+                        return  # unframeable garbage: drop the connection
+                    except OSError:
+                        return
+                    if not raw:
+                        return  # clean close between requests
+                    response = self._dispatch(raw)
+                    keep_alive = response.header("Connection") != "close"
+                    try:
+                        conn.sendall(response.to_bytes())
+                    except OSError:
+                        return
+                    if not keep_alive:
+                        return
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+
+    def _dispatch(self, raw: bytes) -> HttpResponse:
+        try:
+            request = HttpRequest.from_bytes(raw)
+        except (TransportError, ValueError) as exc:
+            return _json_response(400, {"error": f"malformed request: {exc}"})
+        if not request.path.startswith(RPC_PREFIX):
+            return _json_response(
+                404, {"error": f"not an rpc path: {request.path!r}"}
+            )
+        method = request.path[len(RPC_PREFIX):]
+        handler = self._handlers.get(method)
+        if handler is None:
+            return _json_response(404, {"error": f"unknown method {method!r}"})
+        try:
+            payload = json.loads(request.body or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return _json_response(400, {"error": f"malformed payload: {exc}"})
+        if not isinstance(payload, dict):
+            return _json_response(400, {"error": "payload must be an object"})
+        try:
+            result = handler(payload)
+        except Exception as exc:  # noqa: BLE001 - serialized to the peer
+            return _json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        return _json_response(200, result if result is not None else {})
+
+
+def _json_response(status: int, payload: dict) -> HttpResponse:
+    response = HttpResponse(
+        status=status, body=json.dumps(payload, separators=(",", ":")).encode()
+    )
+    response.set_header("Content-Type", "application/json")
+    response.set_header("Connection", "keep-alive")
+    return response
+
+
+def _read_framed(
+    conn: socket.socket, buffer: bytes = b""
+) -> tuple[bytes, bytes]:
+    """Read one framed message; ``(b"", b"")`` on clean EOF."""
+    while True:
+        framed = frame_http_message(buffer)
+        if framed is not None:
+            return framed
+        chunk = conn.recv(_RECV_CHUNK)
+        if not chunk:
+            if buffer:
+                raise TransportError("peer closed mid-message")
+            return b"", b""
+        buffer += chunk
+
+
+class RpcClient:
+    """A keep-alive RPC client over one persistent connection.
+
+    Not thread-safe: each dispatcher thread owns its own client (a
+    connection maps one-to-one onto a worker-side handler thread, which
+    is exactly how per-worker concurrency is expressed).
+
+    Args:
+        address: ``(host, port)`` of an :class:`RpcServer`.
+        timeout: Socket timeout per call, seconds.  Calls that execute
+            long-running shard specs should size this generously.
+    """
+
+    def __init__(
+        self, address: tuple[str, int], timeout: float = 600.0
+    ) -> None:
+        self.address = (address[0], int(address[1]))
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buffer = b""
+        self._used = False  # has the current socket served a call already?
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._buffer = b""
+        self._used = False
+
+    def __enter__(self) -> "RpcClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(self.address, timeout=self.timeout)
+        except OSError as exc:
+            raise RpcError(
+                f"connection to {self.address[0]}:{self.address[1]} "
+                f"failed: {exc}"
+            ) from exc
+        self._sock = sock
+        self._buffer = b""
+        self._used = False
+        return sock
+
+    def _roundtrip(self, payload: bytes) -> bytes | None:
+        """One send+receive on the current socket.
+
+        Returns the raw response, or None when the failure provably
+        happened before the server can have started this request (safe to
+        resend on a fresh connection); raises :class:`RpcError` when the
+        request may have been (partially) processed.
+        """
+        assert self._sock is not None
+        try:
+            self._sock.sendall(payload)
+        except OSError:
+            return None  # request never fully left: retryable
+        buffer = self._buffer
+        responded = False
+        while True:
+            framed = frame_http_message(buffer)
+            if framed is not None:
+                raw, self._buffer = framed
+                return raw
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except TimeoutError as exc:
+                raise RpcError(f"rpc call timed out: {exc}") from exc
+            except OSError as exc:
+                if responded or buffer:
+                    raise RpcError(f"connection lost mid-response: {exc}") from exc
+                return None  # dropped before responding: retryable
+            if not chunk:
+                if buffer:
+                    raise RpcError("truncated rpc response")
+                return None  # closed before responding: retryable
+            responded = True
+            buffer += chunk
+
+    def call(self, method: str, payload: dict | None = None) -> dict:
+        """Invoke ``method`` with a JSON payload; returns the JSON result.
+
+        Raises :class:`RpcError` on connection-level failure (after one
+        stale-socket retry, mirroring the sync transport's keep-alive
+        policy) and :class:`RpcRemoteError` when the server answered with
+        an application error.
+        """
+        request = HttpRequest(
+            "POST",
+            f"{RPC_PREFIX}{method}",
+            body=json.dumps(payload or {}, separators=(",", ":")).encode(),
+        )
+        request.set_header("Content-Type", "application/json")
+        request.set_header("Connection", "keep-alive")
+        wire = request.to_bytes(f"{self.address[0]}:{self.address[1]}")
+
+        if self._sock is None:
+            self._connect()
+        reused = self._used
+        try:
+            raw = self._roundtrip(wire)
+            if raw is None and reused:
+                # The parked socket went stale between calls (worker
+                # restarted its listener, idle timeout, ...): dial fresh
+                # and resend exactly once.
+                self.close()
+                self._connect()
+                raw = self._roundtrip(wire)
+        except RpcError:
+            self.close()
+            raise
+        if raw is None:
+            self.close()
+            raise RpcError(
+                f"no response from {self.address[0]}:{self.address[1]}"
+            )
+        self._used = True
+        try:
+            response = HttpResponse.from_bytes(raw)
+            result = json.loads(response.body or b"{}")
+        except (TransportError, ValueError) as exc:
+            self.close()
+            raise RpcError(f"unparseable rpc response: {exc}") from exc
+        if response.header("Connection") == "close":
+            self.close()
+        if response.status != 200:
+            error = result.get("error", "") if isinstance(result, dict) else ""
+            raise RpcRemoteError(method, response.status, str(error))
+        if not isinstance(result, dict):
+            raise RpcRemoteError(method, 200, "result is not a JSON object")
+        return result

@@ -20,9 +20,29 @@ from .clock import Clock
 from .http import HttpRequest, HttpResponse, frame_http_message
 from .transport import RENDER_HEADER, BatServerApp, Transport
 
-__all__ = ["TcpBatServer", "TcpTransport"]
+__all__ = ["TcpBatServer", "TcpTransport", "shutdown_and_close"]
 
 _RECV_CHUNK = 65536
+
+
+def shutdown_and_close(sock: socket.socket) -> None:
+    """Release a socket even if another thread is blocked on it.
+
+    ``close()`` alone does not wake a thread parked in ``accept()`` or
+    ``recv()`` — the blocked syscall holds a kernel reference, so the
+    socket (and its port) stays alive until the peer hangs up.
+    ``shutdown()`` first interrupts the blocked call immediately.  Shared
+    by every threaded server in :mod:`repro.net` (the BAT server here,
+    the RPC server in :mod:`repro.net.rpc`).
+    """
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
 
 
 def _read_http_message(
@@ -76,6 +96,8 @@ class TcpBatServer:
         self._running = threading.Event()
         self._clock_lock = threading.Lock()
         self._virtual_now = 0.0
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -94,10 +116,17 @@ class TcpBatServer:
 
     def stop(self) -> None:
         self._running.clear()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        shutdown_and_close(self._listener)
+        # Keep-alive connections park their handler thread in recv();
+        # releasing them here makes stop() prompt and frees the port for
+        # an immediate rebind (the restart-recovery regression tests
+        # restart a server on the same address).  A client holding a
+        # pooled socket to this server sees a clean EOF and retries on a
+        # fresh connection.
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            shutdown_and_close(conn)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
         for thread in self._threads:
@@ -120,11 +149,26 @@ class TcpBatServer:
                 target=self._serve_connection, args=(conn, peer), daemon=True
             )
             thread.start()
+            # Prune finished handler threads so a long-lived server does
+            # not accumulate one dead Thread object per connection ever
+            # accepted.
+            self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(thread)
 
     def _serve_connection(self, conn: socket.socket, peer: tuple[str, int]) -> None:
         import time
 
+        with self._conns_lock:
+            self._conns.add(conn)
+        try:
+            self._serve_requests(conn, peer, time)
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+
+    def _serve_requests(
+        self, conn: socket.socket, peer: tuple[str, int], time
+    ) -> None:
         with conn:
             buffer = b""
             while True:

@@ -229,6 +229,43 @@ class TestDiskShardStore:
         for keys, observations in shards:
             assert store.get(keys) == observations
 
+    def test_two_process_manifest_contention_loses_no_rows(self, tmp_path):
+        """Regression for the manifest write race: two *processes*
+        sharing one cache dir (exactly what remote workers + coordinator
+        do) interleave manifest read-modify-writes.  Without the
+        ``manifest.lock`` + merge-on-save, the last writer's view wins
+        and the other process's rows vanish from the manifest (the
+        objects survive, but ``entries()``/`cache ls`/eviction all go
+        blind to them).  With it, the final manifest is the union."""
+        root = tmp_path / "s"
+        per_worker = 6
+        script = (
+            "import sys\n"
+            "from repro.exec import DiskShardStore\n"
+            "from repro.dataset.records import AddressObservation\n"
+            "worker = int(sys.argv[2])\n"
+            "store = DiskShardStore(sys.argv[1])\n"
+            f"for i in range({per_worker}):\n"
+            "    keys = [f'key-w{worker}-{i}-{j}' for j in range(2)]\n"
+            "    obs = [AddressObservation(address_id=f'a{j}', city='c',\n"
+            "        block_group='bg', isp='cox', status='plans', plans=(),\n"
+            "        elapsed_seconds=float(j)) for j in range(2)]\n"
+            "    store.put(keys, obs)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=_pythonpath())
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(root), str(worker)], env=env
+            )
+            for worker in range(2)
+        ]
+        assert all(proc.wait(timeout=120) == 0 for proc in procs)
+        # Reopen: the manifest alone (no object adoption) must already
+        # list every row both writers produced.
+        store = DiskShardStore(root)
+        assert len(store) == 2 * per_worker
+        assert store.total_bytes() > 0
+
     def test_concurrent_process_writes_leave_no_partial_files(self, tmp_path):
         """Separate OS processes hammer one store root (the process-backend
         sharing scenario); every entry must come out whole."""
@@ -364,6 +401,73 @@ class TestGoldenDigests:
         dataset = pipeline.curate()
         assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
         assert pipeline.last_run.replayed_queries == 0
+
+
+@pytest.mark.slow
+class TestRemoteGoldenDigests:
+    """The remote backend joins the golden matrix: specs executed by
+    loopback worker *processes* — which rebuild the world from
+    configuration and ship disk-store-format blobs back — must produce
+    the pinned digests cold, warm-from-disk, and incrementally."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        from repro.exec import local_worker_pool
+
+        with local_worker_pool(count=2, width=2) as addresses:
+            yield addresses
+
+    def _executor(self, fleet):
+        from repro.exec import DistributedExecutor
+
+        return DistributedExecutor(workers=fleet)
+
+    def test_cold_run(self, small_world, fleet):
+        dataset = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=self._executor(fleet)
+        ).curate()
+        assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+
+    def test_warm_disk_run(self, small_world, fleet, tmp_path):
+        cold_cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        cold = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=self._executor(fleet),
+            cache=cold_cache,
+        )
+        assert cold.curate().content_digest() == GOLDEN_WICHITA_SEED5
+        assert cold.last_run.replayed_queries > 0
+
+        # Fresh memory tier over the same store root = a new process:
+        # worker blobs were promoted into the coordinator store, so the
+        # warm run replays nothing and never talks to a worker.
+        warm_cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        warm = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=self._executor(fleet),
+            cache=warm_cache,
+        )
+        dataset = warm.curate()
+        assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+        assert warm.last_run.replayed_queries == 0
+        assert warm.last_run.disk_shards == warm.last_run.total_shards
+
+    def test_incremental_run(self, small_world, fleet, tmp_path):
+        cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        cold = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=self._executor(fleet),
+            cache=cache,
+        )
+        cold.curate()
+
+        changed = SMALL_CONFIG.with_isp_override("cox", politeness_seconds=4.0)
+        pipeline = CurationPipeline(
+            small_world, changed, executor=self._executor(fleet), cache=cache
+        )
+        incremental = pipeline.curate()
+        assert pipeline.last_run.executed_shards == 1
+        assert pipeline.last_run.cached_shards == 1
+
+        scratch = CurationPipeline(small_world, changed).curate()
+        assert incremental.observations == scratch.observations
 
 
 class TestIncrementalRecuration:

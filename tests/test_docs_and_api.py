@@ -28,6 +28,7 @@ PUBLIC_MODULES = [
 DOCTEST_MODULES = [
     "repro.seeding",
     "repro.exec.cache",
+    "repro.exec.remote",
     "repro.addresses.normalize",
     "repro.addresses.model",
     "repro.core.matching",

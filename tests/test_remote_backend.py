@@ -1,0 +1,346 @@
+"""Distributed curation: spec wire format, the worker serve loop, the
+DistributedExecutor dispatcher, worker-death re-queueing, worker-side
+caching, and the ``cache ls`` inspection CLI.
+
+Everything here runs against real loopback worker *processes* (spawned
+via :func:`repro.exec.remote.local_worker_pool`), so the path under test
+is the full one: spec -> JSON wire -> RPC -> world rebuild in a foreign
+process -> disk-store-format blob -> coordinator decode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.dataset import CurationConfig, CurationPipeline, SamplingConfig
+from repro.dataset.curation import shard_config_digest
+from repro.errors import ConfigurationError, TransportError
+from repro.exec import (
+    DistributedExecutor,
+    DiskShardStore,
+    ShardSpec,
+    local_worker_pool,
+    parse_worker_addresses,
+    run_shard_spec,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.exec.spec import SPEC_WIRE_VERSION
+from repro.net import RpcClient
+from repro.net.rpc import RpcRemoteError
+from repro.world import WorldConfig, build_world
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SMALL_CONFIG = CurationConfig(
+    sampling=SamplingConfig(fraction=0.10, min_samples=5), n_workers=10
+)
+SMALL_WORLD_CONFIG = WorldConfig(seed=5, scale=0.05, cities=("wichita",))
+
+
+def _spec(isp: str = "cox", **overrides) -> ShardSpec:
+    digest = shard_config_digest(
+        SMALL_WORLD_CONFIG, SMALL_CONFIG, "wichita", isp
+    )
+    defaults = dict(
+        world=SMALL_WORLD_CONFIG,
+        city="wichita",
+        isp=isp,
+        config=SMALL_CONFIG,
+        start=0,
+        stop=None,
+        config_digest=digest,
+    )
+    defaults.update(overrides)
+    return ShardSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+class TestSpecWire:
+    def test_roundtrip_preserves_equality_and_hash(self):
+        config = SMALL_CONFIG.with_isp_override("cox", politeness_seconds=4.0)
+        spec = _spec(config=config, start=3, stop=9)
+        wire = json.loads(json.dumps(spec_to_wire(spec)))  # a real JSON trip
+        back = spec_from_wire(wire)
+        assert back == replace(spec, tasks=None)
+        assert hash(back.world) == hash(spec.world)
+        assert back.config == config
+        assert back.config.effective_politeness("cox") == 4.0
+
+    def test_tasks_never_cross_the_wire(self, tiny_world):
+        book = tiny_world.city("new-orleans").book
+        spec = replace(_spec(), tasks=tuple(book.feed[:3]))
+        wire = spec_to_wire(spec)
+        assert "tasks" not in wire
+        assert spec_from_wire(wire).tasks is None
+
+    def test_version_mismatch_rejected(self):
+        wire = spec_to_wire(_spec())
+        wire["version"] = SPEC_WIRE_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            spec_from_wire(wire)
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_wire({"version": SPEC_WIRE_VERSION, "city": "x"})
+        with pytest.raises(ConfigurationError):
+            spec_from_wire("not a mapping")
+
+    def test_parse_worker_addresses(self):
+        assert parse_worker_addresses("a:1, b:2,") == (("a", 1), ("b", 2))
+        assert parse_worker_addresses("") == ()
+        with pytest.raises(ConfigurationError):
+            parse_worker_addresses("no-port")
+        with pytest.raises(ConfigurationError):
+            parse_worker_addresses("host:banana")
+
+    def test_executor_requires_a_fleet(self):
+        with pytest.raises(ConfigurationError, match=">= 1 worker"):
+            DistributedExecutor(workers="")
+
+
+# ----------------------------------------------------------------------
+# Worker serve loop (driven over raw RPC)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cached_worker(tmp_path_factory):
+    """One loopback worker with a disk store of its own."""
+    cache_dir = tmp_path_factory.mktemp("worker-store")
+    with local_worker_pool(count=1, width=2, cache_dir=cache_dir) as addresses:
+        yield addresses[0], cache_dir
+
+
+class TestWorkerServeLoop:
+    def test_ping_advertises_width_and_store(self, cached_worker):
+        address, _cache_dir = cached_worker
+        with RpcClient(address) as client:
+            reply = client.call("ping")
+        assert reply["ok"] is True
+        assert reply["width"] == 2
+        assert reply["store"] is True
+
+    def test_run_shard_matches_local_execution(self, cached_worker):
+        address, _cache_dir = cached_worker
+        spec = _spec("att")
+        local_observations, _wall = run_shard_spec(spec)
+        with RpcClient(address) as client:
+            reply = client.call("run_shard", {"spec": spec_to_wire(spec)})
+        entry = reply["entry"]
+        assert len(entry["observations"]) == len(local_observations)
+        from repro.exec import observation_from_dict
+
+        decoded = tuple(
+            observation_from_dict(row) for row in entry["observations"]
+        )
+        assert decoded == local_observations
+        assert entry["meta"]["city"] == "wichita"
+        assert entry["meta"]["isp"] == "att"
+        assert reply["cached"] is False
+        assert reply["wall_seconds"] > 0.0
+
+    def test_second_run_served_from_worker_store(self, cached_worker):
+        address, cache_dir = cached_worker
+        spec = _spec("cox")
+        with RpcClient(address) as client:
+            first = client.call("run_shard", {"spec": spec_to_wire(spec)})
+            second = client.call("run_shard", {"spec": spec_to_wire(spec)})
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["entry"] == first["entry"]
+        # The cached reply reports the recorded *execution* cost (rounded
+        # to microseconds in the manifest), not the store lookup time.
+        assert second["wall_seconds"] == pytest.approx(
+            first["wall_seconds"], abs=1e-5
+        )
+        # And the blob on disk is addressable by the same keys.
+        store = DiskShardStore(cache_dir)
+        assert store.get(first["entry"]["keys"]) is not None
+
+    def test_stats_counts_specs_and_hits(self, cached_worker):
+        address, _cache_dir = cached_worker
+        with RpcClient(address) as client:
+            stats = client.call("stats")
+        assert stats["specs_run"] >= 1
+        assert stats["cache_hits"] >= 1
+        assert stats["store_entries"] >= 1
+
+    def test_malformed_spec_is_a_remote_error(self, cached_worker):
+        address, _cache_dir = cached_worker
+        with RpcClient(address) as client:
+            with pytest.raises(RpcRemoteError):
+                client.call("run_shard", {"spec": {"version": 999}})
+
+
+# ----------------------------------------------------------------------
+# Dispatcher: fan-out, re-queue on worker death, failure modes
+# ----------------------------------------------------------------------
+class TestDistributedDispatch:
+    def test_specs_fan_out_and_return_in_order(self):
+        with local_worker_pool(count=2, width=2) as addresses:
+            executor = DistributedExecutor(workers=addresses)
+            specs = [_spec("cox"), _spec("att"), _spec("cox"), _spec("att")]
+            outcomes = executor.map_specs(specs)
+        assert len(outcomes) == 4
+        assert outcomes[0][0] == outcomes[2][0]
+        assert outcomes[1][0] == outcomes[3][0]
+        assert outcomes[0][0] != outcomes[1][0]
+
+    def test_worker_death_requeues_on_survivor(self):
+        """A worker that dies mid-request (answering nothing) must have
+        its in-flight spec re-queued on the surviving worker; the run
+        completes with correct results."""
+        reference, _ = run_shard_spec(_spec("cox"))
+        with local_worker_pool(count=1, width=1) as survivor:
+            with local_worker_pool(
+                count=1, width=1, extra_args=("--exit-after", "1")
+            ) as doomed:
+                executor = DistributedExecutor(
+                    workers=tuple(survivor) + tuple(doomed)
+                )
+                specs = [_spec("cox") for _ in range(6)]
+                outcomes = executor.map_specs(specs)
+        assert len(outcomes) == 6
+        assert all(obs == reference for obs, _wall in outcomes)
+
+    def test_coordinator_side_failure_surfaces_instead_of_hanging(self):
+        """A deterministic coordinator-side failure (here: a spec whose
+        config cannot be wire-serialized) must propagate out of
+        map_specs promptly — not strand the in-flight spec and spin the
+        dispatch loop forever."""
+
+        class NotAConfig:
+            sampling = SMALL_CONFIG.sampling
+
+            @staticmethod
+            def effective_politeness(_isp):
+                return 5.0
+
+            pacing_time_scale = 0.0
+
+        with local_worker_pool(count=1, width=2) as addresses:
+            executor = DistributedExecutor(workers=addresses)
+            bad = replace(_spec("cox"), config=NotAConfig())
+            with pytest.raises(ConfigurationError, match="serializ"):
+                executor.map_specs([_spec("att"), bad])
+
+    def test_all_workers_dead_raises(self):
+        with local_worker_pool(count=1, width=1) as addresses:
+            executor = DistributedExecutor(workers=addresses)
+            executor._probe()  # learn the fleet while it is alive
+        # The pool context has exited: every worker is gone.
+        with pytest.raises(TransportError):
+            executor.map_specs([_spec("cox")])
+
+    def test_unreachable_fleet_raises_at_dispatch(self):
+        executor = DistributedExecutor(workers="127.0.0.1:1")
+        with pytest.raises(TransportError, match="no remote worker"):
+            executor.map_specs([_spec("cox")])
+
+    def test_empty_spec_list_is_trivially_empty(self):
+        executor = DistributedExecutor(workers="127.0.0.1:1")
+        assert executor.map_specs([]) == []
+
+
+# ----------------------------------------------------------------------
+# Coordinator + worker sharing one cache root
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_shared_cache_root_with_workers(tmp_path):
+    """Coordinator and workers may point at one store root: worker blobs
+    land in it, the coordinator's own store writes land in it, and the
+    manifest (lock-merged) tracks the union."""
+    from repro.exec import QueryResultCache
+
+    root = tmp_path / "shared"
+    world = build_world(SMALL_WORLD_CONFIG)
+    with local_worker_pool(count=2, width=2, cache_dir=root) as addresses:
+        pipeline = CurationPipeline(
+            world,
+            SMALL_CONFIG,
+            executor=DistributedExecutor(workers=addresses),
+            cache=QueryResultCache(store=DiskShardStore(root)),
+        )
+        dataset = pipeline.curate()
+        assert pipeline.last_run.executed_shards == 2
+    serial = CurationPipeline(world, SMALL_CONFIG).curate()
+    assert dataset.observations == serial.observations
+    # Reopen the root: every shard entry is in the merged manifest.
+    store = DiskShardStore(root)
+    assert len(store) == 2
+    cities = {(entry.meta.city, entry.meta.isp) for entry in store.entries()}
+    assert cities == {("wichita", "att"), ("wichita", "cox")}
+
+
+# ----------------------------------------------------------------------
+# cache ls CLI
+# ----------------------------------------------------------------------
+def _pythonpath() -> str:
+    src = str(ROOT / "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+class TestCacheLsCli:
+    def test_lists_entries_and_costs(self, tmp_path):
+        from repro.exec import ShardCostRecord, ShardMeta
+        from repro.dataset.records import AddressObservation
+
+        store = DiskShardStore(tmp_path / "store")
+        observations = [
+            AddressObservation(
+                address_id=f"a{i}", city="wichita", block_group="bg",
+                isp="cox", status="plans", plans=(), elapsed_seconds=1.0,
+            )
+            for i in range(3)
+        ]
+        store.put(
+            [f"key-{i}" for i in range(3)],
+            observations,
+            meta=ShardMeta(
+                city="wichita", isp="cox", seed=5, scale=0.05,
+                config_digest="deadbeef00",
+            ),
+        )
+        store.record_cost(
+            ShardCostRecord(
+                city="wichita", isp="cox", config_digest="deadbeef00",
+                wall_seconds=1.25, task_count=3,
+            )
+        )
+        store.flush()
+
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.dataset", "cache", "ls",
+                "--cache-dir", str(tmp_path / "store"),
+            ],
+            env=dict(os.environ, PYTHONPATH=_pythonpath()),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        assert "wichita" in out and "cox" in out
+        assert "deadbeef" in out
+        assert "total: 1 entries" in out
+        assert "cost records: 1" in out
+
+    def test_missing_root_errors(self, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.dataset", "cache", "ls",
+                "--cache-dir", str(tmp_path / "nope"),
+            ],
+            env=dict(os.environ, PYTHONPATH=_pythonpath()),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode != 0
+        assert "no store at" in result.stderr

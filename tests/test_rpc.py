@@ -1,0 +1,135 @@
+"""The coordinator/worker RPC layer: framing reuse, keep-alive clients,
+stale-socket retry, and the transport-vs-application error split."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.net import RpcClient, RpcError, RpcRemoteError, RpcServer
+
+
+def _handlers():
+    calls = {"count": 0}
+
+    def echo(payload):
+        calls["count"] += 1
+        return {"echo": payload, "call": calls["count"]}
+
+    def boom(_payload):
+        raise ValueError("deliberate handler failure")
+
+    def add(payload):
+        return {"sum": payload["a"] + payload["b"]}
+
+    return {"echo": echo, "boom": boom, "add": add}, calls
+
+
+@pytest.fixture
+def server():
+    with RpcServer(_handlers()[0]) as srv:
+        yield srv
+
+
+class TestRoundtrip:
+    def test_call_returns_json_result(self, server):
+        with RpcClient(server.address) as client:
+            reply = client.call("add", {"a": 2, "b": 40})
+        assert reply == {"sum": 42}
+
+    def test_empty_payload_defaults_to_object(self, server):
+        with RpcClient(server.address) as client:
+            reply = client.call("echo")
+        assert reply["echo"] == {}
+
+    def test_many_calls_reuse_one_connection(self, server):
+        with RpcClient(server.address) as client:
+            replies = [client.call("echo", {"n": i}) for i in range(10)]
+        assert [r["echo"]["n"] for r in replies] == list(range(10))
+        # The handler's own counter is monotonic over the reused socket.
+        assert replies[-1]["call"] - replies[0]["call"] == 9
+
+    def test_concurrent_clients(self, server):
+        results: dict[int, dict] = {}
+
+        def worker(i: int) -> None:
+            with RpcClient(server.address) as client:
+                results[i] = client.call("echo", {"n": i})
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert {r["echo"]["n"] for r in results.values()} == set(range(8))
+
+
+class TestApplicationErrors:
+    """Deterministic failures must raise RpcRemoteError — which is *not*
+    a TransportError, so dispatchers never re-queue them elsewhere."""
+
+    def test_handler_exception_is_remote_error(self, server):
+        with RpcClient(server.address) as client:
+            with pytest.raises(RpcRemoteError, match="deliberate"):
+                client.call("boom")
+            assert not isinstance(RpcRemoteError("m", 500, "x"), RpcError)
+            # The connection survives an application error.
+            assert client.call("add", {"a": 1, "b": 1}) == {"sum": 2}
+
+    def test_unknown_method_is_remote_error(self, server):
+        with RpcClient(server.address) as client:
+            with pytest.raises(RpcRemoteError, match="unknown method"):
+                client.call("nope")
+
+    def test_remote_error_carries_status(self, server):
+        with RpcClient(server.address) as client:
+            with pytest.raises(RpcRemoteError) as excinfo:
+                client.call("boom")
+        assert excinfo.value.status == 500
+        assert excinfo.value.method == "boom"
+
+
+class TestConnectionErrors:
+    def test_connection_refused_is_transport_error(self):
+        client = RpcClient(("127.0.0.1", 1), timeout=0.5)
+        with pytest.raises(RpcError):
+            client.call("echo")
+        assert issubclass(RpcError, Exception)
+
+    def test_server_restart_between_calls_retries_fresh(self):
+        """A parked keep-alive socket whose server died *and came back*
+        must transparently retry on a fresh connection — the same policy
+        as the sync TcpTransport pool."""
+        handlers, _calls = _handlers()
+        first = RpcServer(handlers)
+        first.start()
+        address = first.address
+        client = RpcClient(address)
+        try:
+            assert client.call("add", {"a": 1, "b": 2}) == {"sum": 3}
+            first.stop()
+            # Rebind the same port with a fresh server (SO_REUSEADDR).
+            second = RpcServer(handlers, host=address[0], port=address[1])
+            second.start()
+            try:
+                assert client.call("add", {"a": 2, "b": 3}) == {"sum": 5}
+            finally:
+                second.stop()
+        finally:
+            client.close()
+
+    def test_server_death_between_calls_raises_rpc_error(self):
+        handlers, _calls = _handlers()
+        server = RpcServer(handlers)
+        server.start()
+        client = RpcClient(server.address, timeout=1.0)
+        try:
+            client.call("echo", {"n": 1})
+            server.stop()
+            with pytest.raises(RpcError):
+                client.call("echo", {"n": 2})
+        finally:
+            client.close()

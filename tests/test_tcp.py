@@ -308,6 +308,68 @@ class TestKeepAliveTransport:
         finally:
             pooled.close()
 
+    def test_server_killed_and_restarted_between_requests(self):
+        """Kill-the-server-between-requests regression: a pooled
+        keep-alive socket whose server died — and came back on the same
+        address — must be retried on a fresh connection, transparently.
+
+        This also pins the server-side half of the contract: stop() must
+        actually release the port (shutdown + close of the listener *and*
+        of parked keep-alive connections), or the restart here would fail
+        with EADDRINUSE while clients hold their pooled sockets open.
+        """
+        first = TcpBatServer(_PingApp(), time_scale=0.0)
+        first.start()
+        address = first.address
+        pooled = TcpTransport({"ping.example": address}, keep_alive=True)
+        try:
+            response = pooled.send(
+                HttpRequest.form_post("/check", {"n": "1"}),
+                "ping.example", "73.9.9.9", RealClock(),
+            )
+            assert "pong 1" in response.text()
+            with pooled._lock:
+                assert len(pooled._idle.get("ping.example", [])) == 1
+
+            first.stop()
+            second = TcpBatServer(
+                _PingApp(), host=address[0], port=address[1], time_scale=0.0
+            )
+            second.start()
+            try:
+                # The pooled socket is stale; the transport must dial the
+                # restarted server and succeed without surfacing an error.
+                response = pooled.send(
+                    HttpRequest.form_post("/check", {"n": "2"}),
+                    "ping.example", "73.9.9.9", RealClock(),
+                )
+                assert "pong 2" in response.text()
+            finally:
+                second.stop()
+        finally:
+            pooled.close()
+
+    def test_server_killed_for_good_raises_transport_error(self):
+        """With no server coming back, the retry must fail loudly (a
+        TransportError), never hang or return a stale response."""
+        server = TcpBatServer(_PingApp(), time_scale=0.0)
+        server.start()
+        pooled = TcpTransport(
+            {"ping.example": server.address}, keep_alive=True, timeout=1.0
+        )
+        try:
+            pooled.send(
+                HttpRequest.get("/"), "ping.example", "73.9.9.9", RealClock()
+            )
+            server.stop()
+            with pytest.raises(TransportError):
+                pooled.send(
+                    HttpRequest.get("/"), "ping.example", "73.9.9.9",
+                    RealClock(),
+                )
+        finally:
+            pooled.close()
+
     def test_pool_state_survives_pickling_as_empty(self, server):
         import pickle
 
