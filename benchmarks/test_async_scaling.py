@@ -72,17 +72,20 @@ def test_async_backend_scaling(fleet_env):
     route = {server.hostname: server.address}
 
     serial_s, serial = _timed_run(
-        TcpTransport(route), tasks, SerialExecutor()
+        TcpTransport(route, fault_profile="off"), tasks, SerialExecutor()
     )
-    keepalive_transport = TcpTransport(route, keep_alive=True)
+    keepalive_transport = TcpTransport(
+        route, keep_alive=True, fault_profile="off"
+    )
     keepalive_s, keepalive = _timed_run(
         keepalive_transport, tasks, ThreadPoolBackend(max_workers=POOL_WIDTH)
     )
     keepalive_transport.close()
     thread_s, threaded = _timed_run(
-        TcpTransport(route), tasks, ThreadPoolBackend(max_workers=POOL_WIDTH)
+        TcpTransport(route, fault_profile="off"), tasks,
+        ThreadPoolBackend(max_workers=POOL_WIDTH)
     )
-    async_transport = AsyncTcpTransport(route)
+    async_transport = AsyncTcpTransport(route, fault_profile="off")
     async_s, asynced = _timed_run(async_transport, tasks, AsyncExecutor())
 
     rows = {

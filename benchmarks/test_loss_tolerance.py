@@ -1,0 +1,189 @@
+"""Bench E-X6: curation throughput under injected loss, raw vs reliable.
+
+The distributed backend has two ways to survive a lossy link to its
+workers:
+
+* **raw re-queue** — the legacy path: a torn exchange surfaces as a
+  transport failure and the whole dispatch unit is re-executed (by the
+  client's retry budget or the dispatcher's re-queue).  Recovery costs a
+  full paced shard-chunk execution per loss event.
+* **reliable (Go-Back-N)** — the RPC path's opt-in ARQ channel:
+  sequence-numbered frames with cumulative ACKs mean a lost frame costs
+  one RTO (50 ms) retransmit, not a re-execution.
+
+This bench sweeps injected server-side response loss over 0/1/5/10% and
+runs the *same* paced curation workload through both client modes
+against the same chaotic worker fleet.  Faults are injected with a
+pinned seed (``--fault-profile seed=1305,server.drop=<rate>``) so the
+chaos itself replays.  Every run must produce the byte-identical
+dataset digest as a clean serial pass — loss may cost time, never
+correctness.
+
+Expected economics: with ~70 dispatch units of ~0.6 s paced work each,
+raw re-queue pays ``rate x unit_cost`` in repeated execution while the
+reliable channel pays ``rate x n_frames x RTO`` in retransmits — about
+an order of magnitude less.  The hard gate is at 10% loss (enough loss
+events for the binomial to concentrate); at 5% the reliable layer must
+at least never lose, and the JSON records the full curve for the perf
+trajectory.
+
+Machine-readable results go to ``BENCH_loss_tolerance.json``, uploaded
+by the ``chaos`` CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dataset import CurationConfig, CurationPipeline, SamplingConfig
+from repro.exec import DistributedExecutor, local_worker_pool
+from repro.world import WorldConfig, build_world
+
+CITIES = (
+    "fort-wayne",
+    "billings",
+    "fargo",
+    "durham",
+    "santa-barbara",
+)
+ISPS = ("cox", "centurylink", "frontier", "spectrum")
+SEED = 7
+SCALE = 0.06
+FAULT_SEED = 1305
+LOSS_RATES = (0.0, 0.01, 0.05, 0.10)
+N_WORKERS = 2
+WORKER_WIDTH = 2
+# Small fixed chunks: ~70 dispatch units means even 5% loss injects a
+# handful of events per run instead of a coin flip's worth.
+CHUNK_TASKS = 12
+# Pacing sized so one dispatch unit is ~0.6 s of deterministic blocking:
+# large against a 50 ms RTO retransmit, small enough for a four-point
+# sweep to finish in minutes.
+PACING = 1e-3
+
+_SAMPLING = SamplingConfig(fraction=0.10, min_samples=6)
+CONFIG = CurationConfig(
+    sampling=_SAMPLING, n_workers=20, pacing_time_scale=PACING,
+)
+WARM_CONFIG = CurationConfig(
+    sampling=_SAMPLING, n_workers=20, pacing_time_scale=0.0,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+TEXT_PATH = OUTPUT_DIR / "loss_tolerance.txt"
+JSON_PATH = OUTPUT_DIR / "BENCH_loss_tolerance.json"
+
+
+@pytest.fixture(scope="module")
+def loss_world():
+    return build_world(WorldConfig(seed=SEED, scale=SCALE, cities=CITIES))
+
+
+def _timed_run(world, executor, config=CONFIG):
+    pipeline = CurationPipeline(
+        world, config, executor=executor, schedule="lpt",
+        chunk_tasks=CHUNK_TASKS,
+    )
+    started = time.monotonic()
+    dataset = pipeline.curate(isps=ISPS)
+    return time.monotonic() - started, dataset, pipeline.last_run
+
+
+def _profile_for(rate: float) -> str:
+    if rate <= 0.0:
+        return "off"
+    return f"seed={FAULT_SEED},server.drop={rate}"
+
+
+@pytest.mark.slow
+def test_loss_tolerance_reliable_vs_raw(loss_world):
+    # Clean serial reference digest: the bar every chaotic run must hit.
+    _, reference, _ = _timed_run(loss_world, None, config=WARM_CONFIG)
+    reference_digest = reference.content_digest()
+
+    points = []
+    for rate in LOSS_RATES:
+        with local_worker_pool(
+            count=N_WORKERS,
+            width=WORKER_WIDTH,
+            extra_args=("--fault-profile", _profile_for(rate)),
+        ) as addresses:
+            reliable = DistributedExecutor(
+                workers=addresses, reliable=True, fault_profile="off"
+            )
+            raw = DistributedExecutor(
+                workers=addresses, reliable=False, fault_profile="off"
+            )
+            # One unpaced warm-up per fleet: city ground truth and task
+            # samples live in the worker processes, shared by both
+            # client modes.
+            _timed_run(loss_world, reliable, config=WARM_CONFIG)
+
+            raw_s, raw_dataset, raw_run = _timed_run(loss_world, raw)
+            rel_s, rel_dataset, rel_run = _timed_run(loss_world, reliable)
+
+        assert raw_dataset.content_digest() == reference_digest, rate
+        assert rel_dataset.content_digest() == reference_digest, rate
+        points.append(
+            {
+                "loss_rate": rate,
+                "raw_wall_seconds": round(raw_s, 3),
+                "reliable_wall_seconds": round(rel_s, 3),
+                "raw_over_reliable": round(raw_s / rel_s, 3),
+                "dispatch_units": rel_run.dispatched_units,
+                "digest_equal": True,
+            }
+        )
+
+    lines = [
+        "Bench E-X6: loss tolerance, raw re-queue vs Go-Back-N reliable, "
+        f"{N_WORKERS} workers x width {WORKER_WIDTH}, pacing={PACING}",
+        f"cities={len(CITIES)} isps={len(ISPS)} "
+        f"chunk_tasks={CHUNK_TASKS} fault_seed={FAULT_SEED}",
+        f"{'loss':>6s}{'raw_s':>9s}{'reliable_s':>12s}{'raw/rel':>9s}",
+    ]
+    for point in points:
+        lines.append(
+            f"{point['loss_rate']:>6.0%}{point['raw_wall_seconds']:>9.2f}"
+            f"{point['reliable_wall_seconds']:>12.2f}"
+            f"{point['raw_over_reliable']:>8.2f}x"
+        )
+    report_text = "\n".join(lines)
+    print("\n" + report_text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    TEXT_PATH.write_text(report_text + "\n")
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "loss_tolerance",
+                "seed": SEED,
+                "scale": SCALE,
+                "fault_seed": FAULT_SEED,
+                "pacing_time_scale": PACING,
+                "chunk_tasks": CHUNK_TASKS,
+                "workers": N_WORKERS,
+                "width_per_worker": WORKER_WIDTH,
+                "reference_digest": reference_digest,
+                "points": points,
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+
+    by_rate = {point["loss_rate"]: point for point in points}
+    # Hard gate at 10%: ~7 expected loss events, each costing raw a full
+    # re-execution vs one RTO for the reliable channel.
+    assert (
+        by_rate[0.10]["reliable_wall_seconds"]
+        < by_rate[0.10]["raw_wall_seconds"]
+    ), by_rate[0.10]
+    # At 5% the expected raw penalty (~3 re-executions) is real but the
+    # binomial is noisier; the reliable channel must at least never lose.
+    assert by_rate[0.05]["reliable_wall_seconds"] <= (
+        by_rate[0.05]["raw_wall_seconds"] * 1.05
+    ), by_rate[0.05]

@@ -240,6 +240,12 @@ def worker_main(argv: list[str]) -> int:
                         help="LRU byte cap for the worker store")
     parser.add_argument("--exit-after", type=int, default=None,
                         help=argparse.SUPPRESS)  # chaos hook for tests
+    parser.add_argument("--fault-profile", default=None,
+                        help="chaos knob: a fault-injection spec for this "
+                             "worker's server-side frames, e.g. "
+                             "'seed=7,server.drop=0.05' (overrides "
+                             "REPRO_FAULT_PROFILE; 'off' disables). See "
+                             "repro.net.faults for the spec grammar")
     args = parser.parse_args(argv)
 
     width = args.width if args.width is not None else default_max_workers()
@@ -260,6 +266,7 @@ def worker_main(argv: list[str]) -> int:
         },
         host=args.host,
         port=args.port,
+        fault_profile=args.fault_profile,
     )
     server.start()
     host, port = server.address

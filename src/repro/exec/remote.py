@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence, TypeVar
 
 from ..errors import ConfigurationError, TransportError
+from ..net.faults import FaultProfile
 from ..net.rpc import RpcClient, RpcRemoteError
 from .base import Executor
 from .spec import spec_to_wire
@@ -129,6 +130,13 @@ class DistributedExecutor(Executor):
             one spec, so this bounds a single dispatch unit's wall time.
         max_workers: Accepted for registry symmetry; ignored (per-worker
             concurrency is whatever each worker advertises).
+        fault_profile: Optional fault injection for the coordinator side
+            of every RPC connection (falls back to
+            ``REPRO_FAULT_PROFILE``; ``"off"`` pins it off).
+        reliable: Opt the coordinator's RPC clients into the Go-Back-N
+            channel (:mod:`repro.net.reliable`) so injected frame loss
+            costs a retransmission instead of a spec re-queue; ``None``
+            falls back to ``REPRO_RPC_RELIABLE``.
     """
 
     name = "remote"
@@ -138,8 +146,12 @@ class DistributedExecutor(Executor):
         workers: "Sequence[tuple[str, int] | str] | str | None" = None,
         call_timeout: float = 600.0,
         max_workers: int | None = None,
+        fault_profile: "FaultProfile | str | None" = None,
+        reliable: bool | None = None,
     ) -> None:
         del max_workers  # width comes from the workers themselves
+        self.fault_profile = fault_profile
+        self.reliable = reliable
         if workers is None:
             addresses = default_remote_workers()
             if not addresses:
@@ -169,6 +181,16 @@ class DistributedExecutor(Executor):
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------
+    def _client(
+        self, worker: WorkerInfo, timeout: float | None = None
+    ) -> RpcClient:
+        return RpcClient(
+            worker.address,
+            timeout=self.call_timeout if timeout is None else timeout,
+            fault_profile=self.fault_profile,
+            reliable=self.reliable,
+        )
+
     def _probe(self) -> list[WorkerInfo]:
         """Ping every worker once; returns the live ones.
 
@@ -181,7 +203,7 @@ class DistributedExecutor(Executor):
             if not self._probed:
                 for worker in self._workers:
                     try:
-                        with RpcClient(worker.address, timeout=5.0) as client:
+                        with self._client(worker, timeout=5.0) as client:
                             reply = client.call("ping")
                         worker.width = max(1, int(reply.get("width", 1)))
                         worker.has_store = bool(reply.get("store", False))
@@ -251,32 +273,48 @@ class DistributedExecutor(Executor):
             )
             thread.start()
             threads.append(thread)
-        with state.cv:
-            while state.unfinished > 0 and state.error is None:
-                if state.live_threads == 0:
-                    raise TransportError(
-                        f"{state.unfinished} shard specs left undispatched: "
-                        "every remote worker failed mid-run"
-                    )
-                state.cv.wait(timeout=0.5)
-            if state.error is not None:
-                raise state.error
-        for thread in threads:
-            thread.join(timeout=5.0)
+        try:
+            with state.cv:
+                while state.unfinished > 0 and state.error is None:
+                    if state.live_threads == 0:
+                        raise TransportError(
+                            f"{state.unfinished} shard specs left "
+                            "undispatched: every remote worker failed "
+                            "mid-run"
+                        )
+                    state.cv.wait(timeout=0.5)
+                if state.error is not None:
+                    raise state.error
+        finally:
+            # Every exit path — success, coordinator-side error, fleet
+            # death — tells the dispatchers to stand down and joins them
+            # (bounded), so no daemon thread holding an open RpcClient
+            # socket leaks past this call.
+            with state.cv:
+                state.closing = True
+                state.cv.notify_all()
+            for thread in threads:
+                thread.join(timeout=5.0)
         return state.results  # type: ignore[return-value]
 
     def _dispatch_loop(self, worker: WorkerInfo, state: "_DispatchState") -> None:
-        client = RpcClient(worker.address, timeout=self.call_timeout)
+        client = self._client(worker)
         index: int | None = None
         try:
             while True:
                 with state.cv:
                     while not state.pending:
-                        if state.unfinished == 0 or state.error is not None:
+                        if (
+                            state.unfinished == 0
+                            or state.error is not None
+                            or state.closing
+                        ):
                             return
                         # Work may flow back into the queue if another
                         # worker dies with specs in flight; wait for it.
                         state.cv.wait(timeout=0.1)
+                    if state.error is not None or state.closing:
+                        return
                     index = state.pending.popleft()
                 spec = state.specs[index]
                 try:
@@ -292,15 +330,22 @@ class DistributedExecutor(Executor):
                         state.cv.notify_all()
                     return
                 except (TransportError, OSError):
-                    # The worker (or the path to it) died; put the
-                    # in-flight spec back at the *front* — under LPT
-                    # ordering it is likely long — and retire this
-                    # connection.  Sibling connections to the same worker
-                    # fail the same way on their next call.
-                    worker.alive = False
+                    # The connection (or the worker behind it) failed;
+                    # put the in-flight spec back at the *front* — under
+                    # LPT ordering it is likely long.  A short ping probe
+                    # then separates a flaky connection (chaos-injected
+                    # loss: reconnect and keep dispatching) from a dead
+                    # worker (dial refused: retire this connection;
+                    # sibling connections fail the same way on their next
+                    # call).
                     with state.cv:
                         state.pending.appendleft(index)
+                        index = None
                         state.cv.notify_all()
+                    client.close()
+                    if self._still_alive(worker):
+                        continue
+                    worker.alive = False
                     return
                 except Exception as exc:  # noqa: BLE001 - must not hang
                     # Anything else (an unserializable config, a decode
@@ -323,6 +368,22 @@ class DistributedExecutor(Executor):
                 state.live_threads -= 1
                 state.cv.notify_all()
 
+    def _still_alive(self, worker: WorkerInfo) -> bool:
+        """Ping-probe a worker after a failed call (two short attempts).
+
+        Two attempts, so a single injected fault on the probe itself does
+        not misdiagnose a healthy worker as dead; a genuinely dead worker
+        refuses both dials fast.
+        """
+        for _ in range(2):
+            try:
+                with self._client(worker, timeout=5.0) as probe:
+                    probe.call("ping")
+                return True
+            except (TransportError, RpcRemoteError, OSError):
+                continue
+        return False
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         fleet = ",".join(worker.label for worker in self._workers)
         return f"DistributedExecutor(workers=[{fleet}])"
@@ -340,6 +401,7 @@ class _DispatchState:
         self.unfinished = len(specs)
         self.live_threads = 0
         self.error: BaseException | None = None
+        self.closing = False  # map_specs is exiting: dispatchers stand down
         self.cv = threading.Condition()
 
 

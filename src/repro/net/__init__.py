@@ -3,6 +3,15 @@
 from .aio import AsyncTcpBatServer, AsyncTcpTransport, AsyncTransport
 from .clock import Clock, RealClock, VirtualClock
 from .cookies import CookieJar, parse_set_cookie
+from .faults import (
+    FAULT_PROFILE_ENV,
+    FaultAction,
+    FaultInjector,
+    FaultProfile,
+    FaultRates,
+    FaultySocket,
+    resolve_fault_profile,
+)
 from .http import (
     HttpRequest,
     HttpResponse,
@@ -12,7 +21,15 @@ from .http import (
 )
 from .latency import LatencyModel
 from .proxy import ResidentialProxyPool
-from .rpc import RpcClient, RpcError, RpcRemoteError, RpcServer
+from .reliable import RELIABLE_MAGIC, ReliableEndpoint
+from .rpc import (
+    RPC_RELIABLE_ENV,
+    RpcClient,
+    RpcError,
+    RpcRemoteError,
+    RpcServer,
+    default_rpc_reliable,
+)
 from .tcp import TcpBatServer, TcpTransport
 from .transport import RENDER_HEADER, BatServerApp, InProcessTransport, Transport
 
@@ -20,6 +37,17 @@ __all__ = [
     "AsyncTransport",
     "AsyncTcpTransport",
     "AsyncTcpBatServer",
+    "FAULT_PROFILE_ENV",
+    "FaultAction",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultRates",
+    "FaultySocket",
+    "resolve_fault_profile",
+    "RELIABLE_MAGIC",
+    "ReliableEndpoint",
+    "RPC_RELIABLE_ENV",
+    "default_rpc_reliable",
     "frame_http_message",
     "Clock",
     "RealClock",

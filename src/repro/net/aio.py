@@ -30,12 +30,46 @@ from abc import ABC, abstractmethod
 
 from ..errors import TransportError
 from .clock import Clock
+from .faults import FaultInjector, FaultProfile, resolve_fault_profile
 from .http import HttpRequest, HttpResponse, frame_http_message
 from .transport import RENDER_HEADER, BatServerApp
 
 __all__ = ["AsyncTransport", "AsyncTcpTransport", "AsyncTcpBatServer"]
 
 _RECV_CHUNK = 65536
+
+
+async def _faulty_write(
+    writer: asyncio.StreamWriter, payload: bytes, injector: FaultInjector
+) -> bool:
+    """Apply one injector verdict to a message write.
+
+    The async mirror of :class:`~repro.net.faults.FaultySocket`: one
+    message per write is one frame; byte-losing verdicts (``drop``,
+    ``truncate``, ``reset``) tear the connection down so the peer sees
+    EOF instead of hanging, ``reorder`` degrades to a plain send, and
+    ``delay`` awaits on the loop instead of blocking a thread.  Returns
+    False when the connection was torn down.
+    """
+    action = injector.next_action(len(payload))
+    if action.kind in ("drop", "reset"):
+        writer.close()
+        return False
+    if action.kind == "truncate":
+        writer.write(payload[: action.cut])
+        try:
+            await writer.drain()
+        except OSError:
+            pass
+        writer.close()
+        return False
+    if action.kind == "delay":
+        await asyncio.sleep(action.delay_s)
+    elif action.kind == "duplicate":
+        writer.write(payload)
+    writer.write(payload)
+    await writer.drain()
+    return True
 
 
 class AsyncTransport(ABC):
@@ -64,14 +98,18 @@ class AsyncTransport(ABC):
 class _AioConn:
     """One pooled connection: stream pair plus its over-read remainder."""
 
-    __slots__ = ("reader", "writer", "buffer")
+    __slots__ = ("reader", "writer", "buffer", "injector")
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.reader = reader
         self.writer = writer
         self.buffer = b""
+        self.injector = injector
 
     def close(self) -> None:
         try:
@@ -103,11 +141,16 @@ class AsyncTcpTransport(AsyncTransport):
         timeout: float = 10.0,
         max_connections_per_host: int = 64,
         max_idle_per_host: int = 64,
+        fault_profile: FaultProfile | str | None = None,
+        fault_retries: int = 8,
     ) -> None:
         self._routes = dict(routes)
         self._timeout = timeout
         self.max_connections_per_host = max_connections_per_host
         self.max_idle_per_host = max_idle_per_host
+        self._fault_profile = resolve_fault_profile(fault_profile)
+        self.fault_retries = fault_retries
+        self._dial_count = 0
         self._idle: dict[str, list[_AioConn]] = {}
         self._gates: dict[str, asyncio.Semaphore] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -163,7 +206,12 @@ class AsyncTcpTransport(AsyncTransport):
         except (OSError, asyncio.TimeoutError) as exc:
             raise TransportError(f"connection to {host} failed: {exc}") from exc
         self.connections_opened += 1
-        return _AioConn(reader, writer)
+        injector = None
+        profile = self._fault_profile
+        if profile is not None and profile.client.any:
+            self._dial_count += 1
+            injector = profile.injector("client", host, self._dial_count)
+        return _AioConn(reader, writer, injector)
 
     async def _roundtrip(
         self, conn: _AioConn, payload: bytes
@@ -178,8 +226,15 @@ class AsyncTcpTransport(AsyncTransport):
         then would double-mutate server state.
         """
         try:
-            conn.writer.write(payload)
-            await conn.writer.drain()
+            if conn.injector is not None:
+                if not await _faulty_write(conn.writer, payload, conn.injector):
+                    # The request was torn away before the server could
+                    # have handled it; fall through to the read loop,
+                    # which sees EOF with zero response bytes: retryable.
+                    pass
+            else:
+                conn.writer.write(payload)
+                await conn.writer.drain()
         except OSError:
             return b"", b""  # request never fully left: retryable
         buffer = conn.buffer
@@ -245,12 +300,17 @@ class AsyncTcpTransport(AsyncTransport):
                 conn = await self._dial(host, address)
             else:
                 self.connections_reused += 1
+            # Same retry policy as the sync transport: a retryable
+            # failure provably predates any server handling.  Stale
+            # parked sockets get exactly one retry; an active fault
+            # profile widens the budget to cover injected request loss.
+            retries = 1 if reused else 0
+            if self._fault_profile is not None:
+                retries = max(retries, self.fault_retries)
             try:
                 raw, leftover = await self._roundtrip(conn, payload)
-                if not raw and reused:
-                    # The parked socket was stale (server closed it
-                    # between requests, before this request was
-                    # handled); retry exactly once, fresh.
+                while not raw and retries > 0:
+                    retries -= 1
                     conn.close()
                     conn = await self._dial(host, address)
                     raw, leftover = await self._roundtrip(conn, payload)
@@ -293,11 +353,14 @@ class AsyncTcpBatServer:
         host: str = "127.0.0.1",
         port: int = 0,
         time_scale: float = 0.0,
+        fault_profile: FaultProfile | str | None = None,
     ) -> None:
         self._app = app
         self._host = host
         self._port = port
         self._time_scale = time_scale
+        self._fault_profile = resolve_fault_profile(fault_profile)
+        self._conn_count = 0
         self._address: tuple[str, int] | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
@@ -401,6 +464,13 @@ class AsyncTcpBatServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peer = writer.get_extra_info("peername") or ("?", 0)
+        profile = self._fault_profile
+        injector = None
+        if profile is not None and profile.server.any:
+            self._conn_count += 1
+            injector = profile.injector(
+                "server", self._app.hostname, self._conn_count
+            )
         buffer = b""
         while True:
             try:
@@ -429,8 +499,14 @@ class AsyncTcpBatServer:
                 response.set_header(
                     "Connection", "keep-alive" if keep_alive else "close"
                 )
-                writer.write(response.to_bytes())
-                await writer.drain()
+                if injector is not None:
+                    if not await _faulty_write(
+                        writer, response.to_bytes(), injector
+                    ):
+                        return  # response torn away; connection is gone
+                else:
+                    writer.write(response.to_bytes())
+                    await writer.drain()
                 if not keep_alive:
                     return
             except (TransportError, ValueError) as exc:

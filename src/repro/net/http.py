@@ -13,7 +13,7 @@ headers, cookies, URL-encoded form bodies, and Content-Length framing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from urllib.parse import parse_qsl, quote_plus, unquote_plus
+from urllib.parse import parse_qsl, quote_plus
 
 from ..errors import TransportError
 
@@ -54,9 +54,14 @@ def encode_form(fields: dict[str, str]) -> bytes:
 
 
 def decode_form(body: bytes) -> dict[str, str]:
-    """Decode a URL-encoded form body into a dict (last value wins)."""
+    """Decode a URL-encoded form body into a dict (last value wins).
+
+    ``parse_qsl`` already percent-decodes keys and values; decoding keys
+    a second time here would turn a literal ``%25xx`` in a key into the
+    ``xx`` character and break the ``encode_form`` round trip.
+    """
     pairs = parse_qsl(body.decode("utf-8", errors="replace"), keep_blank_values=True)
-    return {unquote_plus(k) if "%" in k else k: v for k, v in pairs}
+    return dict(pairs)
 
 
 def _canonical_header(name: str) -> str:
@@ -169,8 +174,25 @@ class HttpRequest:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "HttpRequest":
-        """Parse a serialized request (TCP server side)."""
-        head, _, body = data.partition(_CRLF * 2)
+        """Parse a serialized request (TCP server side).
+
+        The socket readers hand back partial bytes on a mid-message EOF
+        precisely so the parser can reject them here: a missing header
+        terminator (torn header) or a body shorter than Content-Length
+        (torn body) raises :class:`TransportError` instead of being
+        silently handled as a complete request.
+        """
+        head, separator, body = data.partition(_CRLF * 2)
+        if not separator:
+            raise TransportError(
+                "truncated HTTP request (no header terminator)"
+            )
+        declared = message_content_length(head)
+        if len(body) != declared:
+            raise TransportError(
+                f"truncated HTTP request body: Content-Length {declared}, "
+                f"got {len(body)} bytes"
+            )
         lines = head.split(_CRLF)
         if not lines or not lines[0]:
             raise TransportError("empty HTTP request")
@@ -242,7 +264,17 @@ class HttpResponse:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "HttpResponse":
-        head, _, body = data.partition(_CRLF * 2)
+        head, separator, body = data.partition(_CRLF * 2)
+        if not separator:
+            raise TransportError(
+                "truncated HTTP response (no header terminator)"
+            )
+        declared = message_content_length(head)
+        if len(body) != declared:
+            raise TransportError(
+                f"truncated HTTP response body: Content-Length {declared}, "
+                f"got {len(body)} bytes"
+            )
         lines = head.split(_CRLF)
         if not lines or not lines[0]:
             raise TransportError("empty HTTP response")

@@ -37,20 +37,46 @@ bytes).
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
+import time
 from typing import Callable, Mapping
 
 from ..errors import ReproError, TransportError
+from .faults import FaultProfile, FaultySocket, resolve_fault_profile
 from .http import HttpRequest, HttpResponse, frame_http_message
+from .reliable import RELIABLE_MAGIC, ReliableEndpoint
 from .tcp import shutdown_and_close
 
-__all__ = ["RpcClient", "RpcError", "RpcRemoteError", "RpcServer"]
+__all__ = [
+    "RPC_RELIABLE_ENV",
+    "RpcClient",
+    "RpcError",
+    "RpcRemoteError",
+    "RpcServer",
+    "default_rpc_reliable",
+]
 
 _RECV_CHUNK = 65536
 
 #: Path prefix every RPC method is mounted under.
 RPC_PREFIX = "/rpc/"
+
+#: Environment variable opting RPC clients into the Go-Back-N reliable
+#: channel (:mod:`repro.net.reliable`).  Servers need no knob — they
+#: auto-detect reliable clients per connection by peeking the frame magic.
+RPC_RELIABLE_ENV = "REPRO_RPC_RELIABLE"
+
+
+def default_rpc_reliable() -> bool:
+    """The process-wide reliable-channel default from the environment."""
+    return os.environ.get(RPC_RELIABLE_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 class RpcError(TransportError):
@@ -97,8 +123,11 @@ class RpcServer:
         handlers: Mapping[str, Callable[[dict], dict]],
         host: str = "127.0.0.1",
         port: int = 0,
+        fault_profile: FaultProfile | str | None = None,
     ) -> None:
         self._handlers = dict(handlers)
+        self._fault_profile = resolve_fault_profile(fault_profile)
+        self._conn_count = 0
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -161,29 +190,72 @@ class RpcServer:
     def _serve_connection(self, conn: socket.socket) -> None:
         with self._conns_lock:
             self._conns.add(conn)
+            self._conn_count += 1
+            conn_id = self._conn_count
+        profile = self._fault_profile
+        injector = (
+            profile.injector("server", "rpc", conn_id)
+            if profile is not None and profile.server.any
+            else None
+        )
         try:
             with conn:
-                buffer = b""
-                while True:
-                    try:
-                        raw, buffer = _read_framed(conn, buffer)
-                    except TransportError:
-                        return  # unframeable garbage: drop the connection
-                    except OSError:
-                        return
-                    if not raw:
-                        return  # clean close between requests
-                    response = self._dispatch(raw)
-                    keep_alive = response.header("Connection") != "close"
-                    try:
-                        conn.sendall(response.to_bytes())
-                    except OSError:
-                        return
-                    if not keep_alive:
-                        return
+                if _peek_prefix(conn) == RELIABLE_MAGIC:
+                    self._serve_reliable(
+                        ReliableEndpoint(conn, injector=injector)
+                    )
+                    return
+                serve_on = (
+                    FaultySocket(conn, injector) if injector is not None else conn
+                )
+                self._serve_raw(serve_on)
         finally:
             with self._conns_lock:
                 self._conns.discard(conn)
+
+    def _serve_raw(self, conn) -> None:
+        buffer = b""
+        while True:
+            try:
+                raw, buffer = _read_framed(conn, buffer)
+            except TransportError:
+                return  # unframeable garbage: drop the connection
+            except OSError:
+                return
+            if not raw:
+                return  # clean close between requests
+            response = self._dispatch(raw)
+            keep_alive = response.header("Connection") != "close"
+            try:
+                conn.sendall(response.to_bytes())
+            except OSError:
+                return
+            if not keep_alive:
+                return
+
+    def _serve_reliable(self, endpoint: ReliableEndpoint) -> None:
+        """Keep-alive serve loop over a Go-Back-N channel.
+
+        The same request-per-loop rhythm as the raw path; the endpoint's
+        ARQ absorbs injected frame loss on both directions.  Unframeable
+        or desynchronized streams drop the connection, mirroring the raw
+        path's garbage policy.
+        """
+        while True:
+            try:
+                raw = endpoint.recv_message()
+            except TransportError:
+                return
+            if not raw:
+                return  # clean close between requests
+            response = self._dispatch(raw)
+            keep_alive = response.header("Connection") != "close"
+            try:
+                endpoint.send_message(response.to_bytes())
+            except TransportError:
+                return
+            if not keep_alive:
+                return
 
     def _dispatch(self, raw: bytes) -> HttpResponse:
         try:
@@ -222,6 +294,30 @@ def _json_response(status: int, payload: dict) -> HttpResponse:
     return response
 
 
+def _peek_prefix(conn: socket.socket, n: int = 4) -> bytes:
+    """Peek the first ``n`` bytes of a connection without consuming them.
+
+    Used by the server to auto-detect a reliable-channel client: every
+    reliable frame starts with :data:`~repro.net.reliable.RELIABLE_MAGIC`,
+    while raw HTTP starts with a method token.  ``MSG_PEEK`` can return
+    fewer bytes than asked while the peer's first write is in flight, so
+    poll briefly; a connection that never produces ``n`` bytes (torn
+    first frame, instant EOF) falls through to the raw path, which drops
+    it as unframeable garbage.
+    """
+    for _ in range(200):
+        try:
+            data = conn.recv(n, socket.MSG_PEEK)
+        except OSError:
+            return b""
+        if not data:
+            return b""
+        if len(data) >= n:
+            return data[:n]
+        time.sleep(0.001)
+    return data
+
+
 def _read_framed(
     conn: socket.socket, buffer: bytes = b""
 ) -> tuple[bytes, bytes]:
@@ -249,14 +345,34 @@ class RpcClient:
         address: ``(host, port)`` of an :class:`RpcServer`.
         timeout: Socket timeout per call, seconds.  Calls that execute
             long-running shard specs should size this generously.
+        fault_profile: Optional fault injection for this client's frames
+            (falls back to ``REPRO_FAULT_PROFILE``; ``"off"`` pins it
+            off).
+        reliable: Opt into the Go-Back-N channel
+            (:class:`~repro.net.reliable.ReliableEndpoint`); ``None``
+            falls back to ``REPRO_RPC_RELIABLE``.  The server end needs
+            no configuration — it auto-detects per connection.
+        fault_retries: Retry budget for provably-unstarted requests when
+            a fault profile is active (without one the policy stays
+            retry-once-if-the-parked-socket-went-stale).
     """
 
     def __init__(
-        self, address: tuple[str, int], timeout: float = 600.0
+        self,
+        address: tuple[str, int],
+        timeout: float = 600.0,
+        fault_profile: FaultProfile | str | None = None,
+        reliable: bool | None = None,
+        fault_retries: int = 8,
     ) -> None:
         self.address = (address[0], int(address[1]))
         self.timeout = timeout
+        self._fault_profile = resolve_fault_profile(fault_profile)
+        self.reliable = default_rpc_reliable() if reliable is None else reliable
+        self.fault_retries = fault_retries
+        self._dials = 0
         self._sock: socket.socket | None = None
+        self._endpoint: ReliableEndpoint | None = None
         self._buffer = b""
         self._used = False  # has the current socket served a call already?
 
@@ -267,6 +383,7 @@ class RpcClient:
             except OSError:
                 pass
             self._sock = None
+        self._endpoint = None
         self._buffer = b""
         self._used = False
 
@@ -285,6 +402,19 @@ class RpcClient:
                 f"connection to {self.address[0]}:{self.address[1]} "
                 f"failed: {exc}"
             ) from exc
+        profile = self._fault_profile
+        injector = None
+        if profile is not None and profile.client.any:
+            self._dials += 1
+            injector = profile.injector(
+                "client", "rpc", self.address[1], self._dials
+            )
+        if self.reliable:
+            self._endpoint = ReliableEndpoint(
+                sock, recv_timeout=self.timeout, injector=injector
+            )
+        elif injector is not None:
+            sock = FaultySocket(sock, injector)
         self._sock = sock
         self._buffer = b""
         self._used = False
@@ -325,6 +455,81 @@ class RpcClient:
             responded = True
             buffer += chunk
 
+    def _exchange_raw(self, wire: bytes) -> bytes:
+        """Raw-socket exchange with the stale-retry / fault-budget policy.
+
+        Retryable failures (``None`` from :meth:`_roundtrip`) provably
+        happened before the server started the request.  Without fault
+        injection that only occurs on a stale parked socket — retried
+        exactly once, as always.  An active fault profile makes injected
+        request loss routine, so the retry budget widens to
+        ``fault_retries``; every retry redials, so a dead server still
+        fails fast in ``_connect``.
+        """
+        reused = self._used
+        retries = 1 if reused else 0
+        if self._fault_profile is not None:
+            retries = max(retries, self.fault_retries)
+        try:
+            raw = self._roundtrip(wire)
+            while raw is None and retries > 0:
+                retries -= 1
+                self.close()
+                self._connect()
+                raw = self._roundtrip(wire)
+        except RpcError:
+            self.close()
+            raise
+        if raw is None:
+            self.close()
+            raise RpcError(
+                f"no response from {self.address[0]}:{self.address[1]}"
+            )
+        return raw
+
+    def _exchange_reliable(self, wire: bytes) -> bytes:
+        """One exchange over the Go-Back-N channel.
+
+        Injected frame loss is absorbed by ARQ inside the endpoint, so
+        the only retry here is the keep-alive stale-socket case: a parked
+        connection that fails before *any* acknowledgement progress
+        (``endpoint.progressed`` False) provably never delivered the
+        request, and is retried once on a fresh connection — the same
+        policy as the raw path.  Any failure after progress raises: the
+        server may have executed the call.
+        """
+        assert self._endpoint is not None
+        reused = self._used
+        try:
+            self._endpoint.send_message(wire)
+            raw = self._endpoint.recv_message()
+        except TransportError as exc:
+            progressed = self._endpoint.progressed
+            self.close()
+            if reused and not progressed:
+                self._connect()
+                assert self._endpoint is not None
+                try:
+                    self._endpoint.send_message(wire)
+                    raw = self._endpoint.recv_message()
+                except TransportError as retry_exc:
+                    self.close()
+                    raise RpcError(
+                        f"reliable rpc to {self.address[0]}:"
+                        f"{self.address[1]} failed: {retry_exc}"
+                    ) from retry_exc
+            else:
+                raise RpcError(
+                    f"reliable rpc to {self.address[0]}:{self.address[1]} "
+                    f"failed: {exc}"
+                ) from exc
+        if not raw:
+            self.close()
+            raise RpcError(
+                f"no response from {self.address[0]}:{self.address[1]}"
+            )
+        return raw
+
     def call(self, method: str, payload: dict | None = None) -> dict:
         """Invoke ``method`` with a JSON payload; returns the JSON result.
 
@@ -344,24 +549,10 @@ class RpcClient:
 
         if self._sock is None:
             self._connect()
-        reused = self._used
-        try:
-            raw = self._roundtrip(wire)
-            if raw is None and reused:
-                # The parked socket went stale between calls (worker
-                # restarted its listener, idle timeout, ...): dial fresh
-                # and resend exactly once.
-                self.close()
-                self._connect()
-                raw = self._roundtrip(wire)
-        except RpcError:
-            self.close()
-            raise
-        if raw is None:
-            self.close()
-            raise RpcError(
-                f"no response from {self.address[0]}:{self.address[1]}"
-            )
+        if self.reliable:
+            raw = self._exchange_reliable(wire)
+        else:
+            raw = self._exchange_raw(wire)
         self._used = True
         try:
             response = HttpResponse.from_bytes(raw)

@@ -17,6 +17,7 @@ import threading
 
 from ..errors import TransportError
 from .clock import Clock
+from .faults import FaultProfile, FaultySocket, resolve_fault_profile
 from .http import HttpRequest, HttpResponse, frame_http_message
 from .transport import RENDER_HEADER, BatServerApp, Transport
 
@@ -84,9 +85,12 @@ class TcpBatServer:
         host: str = "127.0.0.1",
         port: int = 0,
         time_scale: float = 0.0,
+        fault_profile: FaultProfile | str | None = None,
     ) -> None:
         self._app = app
         self._time_scale = time_scale
+        self._fault_profile = resolve_fault_profile(fault_profile)
+        self._conn_count = 0
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -160,8 +164,16 @@ class TcpBatServer:
 
         with self._conns_lock:
             self._conns.add(conn)
+            self._conn_count += 1
+            conn_id = self._conn_count
+        profile = self._fault_profile
+        serve_on = conn
+        if profile is not None and profile.server.any:
+            serve_on = FaultySocket(
+                conn, profile.injector("server", self._app.hostname, conn_id)
+            )
         try:
-            self._serve_requests(conn, peer, time)
+            self._serve_requests(serve_on, peer, time)
         finally:
             with self._conns_lock:
                 self._conns.discard(conn)
@@ -251,11 +263,16 @@ class TcpTransport(Transport):
         timeout: float = 10.0,
         keep_alive: bool = False,
         max_idle_per_host: int = 8,
+        fault_profile: FaultProfile | str | None = None,
+        fault_retries: int = 8,
     ) -> None:
         self._routes = dict(routes)
         self._timeout = timeout
         self.keep_alive = keep_alive
         self.max_idle_per_host = max_idle_per_host
+        self._fault_profile = resolve_fault_profile(fault_profile)
+        self.fault_retries = fault_retries
+        self._dial_count = 0
         self._idle: dict[str, list[_PooledConn]] = {}
         self._lock = threading.Lock()
 
@@ -312,11 +329,16 @@ class TcpTransport(Transport):
 
     def _dial(self, host: str, address: tuple[str, int]) -> _PooledConn:
         try:
-            return _PooledConn(
-                socket.create_connection(address, timeout=self._timeout)
-            )
+            sock = socket.create_connection(address, timeout=self._timeout)
         except OSError as exc:
             raise TransportError(f"connection to {host} failed: {exc}") from exc
+        profile = self._fault_profile
+        if profile is not None and profile.client.any:
+            with self._lock:
+                self._dial_count += 1
+                conn_id = self._dial_count
+            sock = FaultySocket(sock, profile.injector("client", host, conn_id))
+        return _PooledConn(sock)
 
     def _roundtrip(
         self, conn: _PooledConn, payload: bytes
@@ -384,12 +406,19 @@ class TcpTransport(Transport):
         reused = conn is not None
         if conn is None:
             conn = self._dial(host, address)
+        # A retryable failure — ``(b"", b"")`` from _roundtrip — provably
+        # happened before the server handled the request.  Without fault
+        # injection that only occurs on a stale parked socket, retried
+        # exactly once; under an active fault profile injected request
+        # loss makes it routine, so the budget widens (each retry redials,
+        # so a genuinely dead server still fails fast in _dial).
+        retries = 1 if reused else 0
+        if self._fault_profile is not None:
+            retries = max(retries, self.fault_retries)
         try:
             raw, leftover = self._roundtrip(conn, payload)
-            if not raw and reused:
-                # The parked socket was stale (server-side close between
-                # requests, before this request was handled); retry
-                # exactly once on a fresh connection.
+            while not raw and retries > 0:
+                retries -= 1
                 conn.close()
                 conn = self._dial(host, address)
                 raw, leftover = self._roundtrip(conn, payload)

@@ -104,7 +104,8 @@ class TestAsyncRoundtrip:
 
     def test_sync_keepalive_client_against_async_server(self, aserver):
         transport = TcpTransport(
-            {aserver.hostname: aserver.address}, keep_alive=True
+            {aserver.hostname: aserver.address}, keep_alive=True,
+            fault_profile="off",
         )
         try:
             for i in range(5):
@@ -122,7 +123,9 @@ class TestAsyncRoundtrip:
     def test_async_client_against_threaded_server(self):
         with TcpBatServer(_PingApp(), time_scale=0.0) as srv:
             async def go():
-                transport = AsyncTcpTransport({srv.hostname: srv.address})
+                transport = AsyncTcpTransport(
+                    {srv.hostname: srv.address}, fault_profile="off"
+                )
                 responses = []
                 for i in range(4):
                     responses.append(
@@ -179,7 +182,9 @@ class TestAsyncRoundtrip:
 class TestAsyncPooling:
     def test_sequential_sends_reuse_one_connection(self, aserver):
         async def go():
-            transport = AsyncTcpTransport({aserver.hostname: aserver.address})
+            transport = AsyncTcpTransport(
+                {aserver.hostname: aserver.address}, fault_profile="off"
+            )
             for i in range(6):
                 await transport.send(
                     HttpRequest.form_post("/check", {"n": str(i)}),
@@ -200,6 +205,7 @@ class TestAsyncPooling:
             transport = AsyncTcpTransport(
                 {aserver.hostname: aserver.address},
                 max_connections_per_host=4,
+                fault_profile="off",
             )
 
             async def one(i):
@@ -221,7 +227,9 @@ class TestAsyncPooling:
 
     def test_pool_recovers_across_event_loops(self, aserver):
         """Parked sockets from a finished loop are discarded, not reused."""
-        transport = AsyncTcpTransport({aserver.hostname: aserver.address})
+        transport = AsyncTcpTransport(
+            {aserver.hostname: aserver.address}, fault_profile="off"
+        )
 
         async def one(i):
             response = await transport.send(

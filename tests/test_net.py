@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import (
     ConfigurationError,
@@ -63,6 +65,23 @@ class TestForms:
     def test_decode_empty(self):
         assert decode_form(b"") == {}
 
+    def test_percent_literals_decode_exactly_once(self):
+        """Regression: keys were percent-decoded twice (parse_qsl already
+        unquotes), so a literal ``%25xx`` in a key came back mangled."""
+        assert decode_form(b"a%2525=x") == {"a%25": "x"}
+        fields = {"k%25": "v%", "100%": "yes"}
+        assert decode_form(encode_form(fields)) == fields
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=20),
+            st.text(max_size=20),
+            max_size=8,
+        )
+    )
+    def test_encode_decode_roundtrip_property(self, fields):
+        assert decode_form(encode_form(fields)) == fields
+
 
 class TestHttpMessages:
     def test_request_roundtrip(self):
@@ -103,6 +122,50 @@ class TestHttpMessages:
     def test_body_with_utf8(self):
         response = HttpResponse.html("café ☕")
         assert HttpResponse.from_bytes(response.to_bytes()).text() == "café ☕"
+
+
+class TestTornMessages:
+    """Regression: the parsers must validate body length against
+    Content-Length — a message torn mid-header or mid-body used to parse
+    as complete with a short body."""
+
+    REQUEST = HttpRequest.form_post("/check", {"addr": "12 Oak Ave"}).to_bytes(
+        "bat.example"
+    )
+    RESPONSE = HttpResponse.html("<html>hello there</html>").to_bytes()
+
+    def test_torn_request_header_raises(self):
+        torn = self.REQUEST[: self.REQUEST.index(b"\r\n\r\n")]
+        with pytest.raises(TransportError, match="no header terminator"):
+            HttpRequest.from_bytes(torn)
+
+    def test_torn_request_body_raises(self):
+        with pytest.raises(TransportError, match="truncated HTTP request"):
+            HttpRequest.from_bytes(self.REQUEST[:-3])
+
+    def test_request_with_extra_body_bytes_raises(self):
+        with pytest.raises(TransportError, match="truncated HTTP request"):
+            HttpRequest.from_bytes(self.REQUEST + b"overrun")
+
+    def test_torn_response_header_raises(self):
+        torn = self.RESPONSE[: self.RESPONSE.index(b"\r\n\r\n")]
+        with pytest.raises(TransportError, match="no header terminator"):
+            HttpResponse.from_bytes(torn)
+
+    def test_torn_response_body_raises(self):
+        with pytest.raises(TransportError, match="truncated HTTP response"):
+            HttpResponse.from_bytes(self.RESPONSE[:-5])
+
+    def test_every_strict_prefix_of_a_request_raises(self):
+        for cut in range(len(self.REQUEST)):
+            with pytest.raises(TransportError):
+                HttpRequest.from_bytes(self.REQUEST[:cut])
+
+    def test_complete_messages_still_parse(self):
+        assert HttpRequest.from_bytes(self.REQUEST).form() == {
+            "addr": "12 Oak Ave"
+        }
+        assert HttpResponse.from_bytes(self.RESPONSE).status == 200
 
 
 class TestCookieJar:

@@ -1,0 +1,406 @@
+"""The Go-Back-N reliable channel: ARQ under injected loss, framing
+integrity, and the RPC path's opt-in (server auto-detect, client retry
+policy, full chaos round trips)."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net import (
+    RELIABLE_MAGIC,
+    FaultProfile,
+    ReliableEndpoint,
+    RpcClient,
+    RpcError,
+    RpcRemoteError,
+    RpcServer,
+)
+from repro.net.reliable import _HEADER, _KIND_DATA
+
+
+def _msg(body: bytes) -> bytes:
+    """A minimal Content-Length-framed message (what every endpoint moves)."""
+    return (
+        b"POST /x HTTP/1.1\r\nContent-Length: "
+        + str(len(body)).encode()
+        + b"\r\n\r\n"
+        + body
+    )
+
+
+def _pair(**kwargs):
+    """Two connected ReliableEndpoints over a loopback socketpair."""
+    left, right = socket.socketpair()
+    return ReliableEndpoint(left, **kwargs), ReliableEndpoint(right, **kwargs)
+
+
+def _echo_thread(endpoint: ReliableEndpoint) -> threading.Thread:
+    """Echo every received message back until a clean close."""
+
+    def run():
+        try:
+            while True:
+                message = endpoint.recv_message()
+                if not message:
+                    return
+                endpoint.send_message(message)
+        except TransportError:
+            return
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+def _injector(spec: str, *labels):
+    profile = FaultProfile.from_spec(spec)
+    assert profile is not None
+    return profile.injector("client", *labels)
+
+
+# ----------------------------------------------------------------------
+# Clean-channel behaviour
+# ----------------------------------------------------------------------
+class TestCleanChannel:
+    def test_roundtrip_small_message(self):
+        a, b = _pair(recv_timeout=5.0)
+        thread = _echo_thread(b)
+        message = _msg(b"hello reliable world")
+        a.send_message(message)
+        assert a.recv_message() == message
+        a.close()
+        thread.join(timeout=5.0)
+
+    def test_empty_body_message(self):
+        a, b = _pair(recv_timeout=5.0)
+        thread = _echo_thread(b)
+        message = _msg(b"")
+        a.send_message(message)
+        assert a.recv_message() == message
+        a.close()
+        thread.join(timeout=5.0)
+
+    def test_large_message_exercises_the_window(self):
+        """A payload far larger than window*mtu forces window-fill
+        mechanics (send, stall, ACK advance, refill)."""
+        a, b = _pair(mtu=4096, window=8, recv_timeout=10.0)
+        thread = _echo_thread(b)
+        message = _msg(bytes(range(256)) * 800)  # ~200 KiB
+        a.send_message(message)
+        assert a.recv_message() == message
+        assert a.frames_sent >= len(message) // 4096
+        a.close()
+        thread.join(timeout=5.0)
+
+    def test_sequence_numbers_continue_across_messages(self):
+        """Five sequential exchanges on one channel: seq spaces must not
+        reset between messages (a reset would alias retransmits)."""
+        a, b = _pair(recv_timeout=5.0)
+        thread = _echo_thread(b)
+        for i in range(5):
+            message = _msg(f"payload number {i}".encode() * (i + 1))
+            a.send_message(message)
+            assert a.recv_message() == message
+        assert a._next_seq >= 5
+        a.close()
+        thread.join(timeout=5.0)
+
+    def test_clean_close_returns_empty(self):
+        a, b = _pair(recv_timeout=5.0)
+        a.close()
+        assert b.recv_message() == b""
+
+
+# ----------------------------------------------------------------------
+# ARQ under injected faults
+# ----------------------------------------------------------------------
+class TestLossRecovery:
+    def test_heavy_bidirectional_chaos_delivers_everything(self):
+        """20% drop + duplicates + reordering on both directions: every
+        message still arrives intact, via retransmission."""
+        spec = "seed=3,drop=0.2,dup=0.05,reorder=0.05"
+        left, right = socket.socketpair()
+        a = ReliableEndpoint(
+            left, mtu=512, rto=0.02, recv_timeout=10.0,
+            injector=_injector(spec, "left"),
+        )
+        b = ReliableEndpoint(
+            right, mtu=512, rto=0.02, recv_timeout=10.0,
+            injector=_injector(spec, "right"),
+        )
+        thread = _echo_thread(b)
+        for i in range(5):
+            message = _msg(f"chaos {i} ".encode() * 200)
+            a.send_message(message)
+            assert a.recv_message() == message
+        assert a.retransmissions + b.retransmissions > 0
+        a.close()
+        thread.join(timeout=5.0)
+
+    def test_lost_acks_force_retransmits(self):
+        """Swallowing every ACK the receiver sends: the sender must go
+        back and resend until the peer's (deliberately delayed) reply
+        arrives as an implicit acknowledgement — and the message must
+        come through intact exactly once."""
+
+        class _AckDropper:
+            """Drops ACK frames (empty payload: header-sized) only."""
+
+            def next_action(self, nbytes):
+                from repro.net.faults import FaultAction
+
+                if nbytes == _HEADER.size:
+                    return FaultAction(kind="drop")
+                return FaultAction()
+
+        left, right = socket.socketpair()
+        a = ReliableEndpoint(left, mtu=256, rto=0.02, recv_timeout=10.0)
+        b = ReliableEndpoint(
+            right, mtu=256, rto=0.02, recv_timeout=10.0,
+            injector=_AckDropper(),
+        )
+        message = _msg(b"ack-loss " * 30)  # a handful of frames at mtu=256
+
+        def delayed_echo():
+            received = b.recv_message()
+            time.sleep(0.1)  # several RTO periods of ACK silence
+            b.send_message(received)
+
+        thread = threading.Thread(target=delayed_echo, daemon=True)
+        thread.start()
+        a.send_message(message)
+        assert a.recv_message() == message
+        assert a.retransmissions > 0
+        a.close()
+        thread.join(timeout=5.0)
+
+    def test_duplicate_data_is_dropped_and_cumulatively_reacked(self):
+        """Pure Go-Back-N receiver behaviour, driven frame by frame: a
+        retransmitted DATA frame is discarded (not re-delivered) and
+        answered with the cumulative ACK."""
+        import zlib
+
+        left, right = socket.socketpair()
+        endpoint = ReliableEndpoint(right, recv_timeout=2.0)
+        message = _msg(b"split across two frames")
+        first, second = message[:20], message[20:]
+
+        def frame(seq: int, payload: bytes) -> bytes:
+            return _HEADER.pack(
+                RELIABLE_MAGIC, _KIND_DATA, seq, len(payload),
+                zlib.crc32(payload),
+            ) + payload
+
+        left.sendall(frame(0, first))
+        left.sendall(frame(0, first))  # retransmit of a delivered frame
+        left.sendall(frame(2, b"future"))  # out of order: discarded
+        left.sendall(frame(1, second))
+        assert endpoint.recv_message() == message
+        assert endpoint.duplicates_dropped == 1
+
+        # Every frame (including the duplicate and the out-of-order one)
+        # was answered with the highest in-order seq delivered so far.
+        left.settimeout(2.0)
+        acks = []
+        buffer = b""
+        while len(acks) < 4:
+            buffer += left.recv(4096)
+            while len(buffer) >= _HEADER.size:
+                _magic, kind, seq, length, _crc = _HEADER.unpack_from(buffer)
+                buffer = buffer[_HEADER.size + length:]
+                assert kind != _KIND_DATA
+                acks.append(seq)
+        assert acks == [0, 0, 0, 1]
+
+    def test_total_loss_exhausts_the_retry_budget(self):
+        """An injector that drops every frame: the sender must give up
+        with a TransportError after max_retries fruitless timeouts, not
+        spin forever."""
+        left, _right = socket.socketpair()
+        a = ReliableEndpoint(
+            left, rto=0.01, max_retries=3,
+            injector=_injector("seed=1,drop=1.0", "void"),
+        )
+        with pytest.raises(TransportError, match="gave up"):
+            a.send_message(_msg(b"into the void"))
+
+    def test_truncate_fault_tears_the_channel_down(self):
+        """A torn frame desynchronizes the byte stream for good; the
+        receiving side must fail loudly, never deliver garbage."""
+        left, right = socket.socketpair()
+        a = ReliableEndpoint(
+            left, rto=0.01, max_retries=2,
+            injector=_injector("seed=4,truncate=1.0", "torn"),
+        )
+        b = ReliableEndpoint(right, recv_timeout=2.0)
+        # The torn frame tears down the sender's own socket, so the send
+        # fails (no ACK can ever arrive over a half-dead channel).
+        with pytest.raises(TransportError):
+            a.send_message(_msg(b"x" * 4000))
+        # The receiver sees a torn prefix + EOF: either a loud mid-frame
+        # error or a clean-EOF b"" — but never a delivered message.
+        try:
+            delivered = b.recv_message()
+        except TransportError:
+            delivered = b""
+        assert delivered == b""
+
+
+# ----------------------------------------------------------------------
+# Stream integrity: desync, corruption, torn frames
+# ----------------------------------------------------------------------
+class TestStreamIntegrity:
+    def test_garbage_bytes_raise_desync(self):
+        left, right = socket.socketpair()
+        endpoint = ReliableEndpoint(right, recv_timeout=2.0)
+        left.sendall(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(TransportError, match="desynchronized"):
+            endpoint.recv_message()
+
+    def test_checksum_failure_raises(self):
+        left, right = socket.socketpair()
+        endpoint = ReliableEndpoint(right, recv_timeout=2.0)
+        frame = _HEADER.pack(RELIABLE_MAGIC, _KIND_DATA, 0, 5, 0xDEAD) + b"hello"
+        left.sendall(frame)
+        with pytest.raises(TransportError, match="checksum"):
+            endpoint.recv_message()
+
+    def test_oversized_length_field_raises(self):
+        left, right = socket.socketpair()
+        endpoint = ReliableEndpoint(right, recv_timeout=2.0)
+        left.sendall(_HEADER.pack(RELIABLE_MAGIC, _KIND_DATA, 0, 1 << 30, 0))
+        with pytest.raises(TransportError, match="desynchronized"):
+            endpoint.recv_message()
+
+    def test_eof_mid_frame_raises(self):
+        left, right = socket.socketpair()
+        endpoint = ReliableEndpoint(right, recv_timeout=2.0)
+        left.sendall(struct.pack("!4sB", RELIABLE_MAGIC, _KIND_DATA))
+        left.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            endpoint.recv_message()
+
+    def test_recv_timeout_raises_instead_of_hanging(self):
+        _left, right = socket.socketpair()
+        endpoint = ReliableEndpoint(right, recv_timeout=0.05)
+        with pytest.raises(TransportError, match="timed out"):
+            endpoint.recv_message()
+
+
+# ----------------------------------------------------------------------
+# The RPC opt-in: auto-detect, retry policy, chaos round trips
+# ----------------------------------------------------------------------
+def _handlers():
+    def echo(payload):
+        return {"echo": payload}
+
+    def boom(_payload):
+        raise ValueError("deliberate handler failure")
+
+    return {"echo": echo, "boom": boom}
+
+
+class TestReliableRpc:
+    def test_reliable_client_roundtrip(self):
+        with RpcServer(_handlers()) as server:
+            with RpcClient(
+                server.address, reliable=True, fault_profile="off"
+            ) as client:
+                for i in range(10):
+                    assert client.call("echo", {"n": i}) == {"echo": {"n": i}}
+
+    def test_raw_and_reliable_clients_share_one_server(self):
+        """The server auto-detects per connection by peeking the frame
+        magic: both client flavours work against one listener at once."""
+        with RpcServer(_handlers()) as server:
+            raw = RpcClient(server.address, reliable=False, fault_profile="off")
+            arq = RpcClient(server.address, reliable=True, fault_profile="off")
+            try:
+                assert raw.call("echo", {"via": "raw"})["echo"]["via"] == "raw"
+                assert arq.call("echo", {"via": "arq"})["echo"]["via"] == "arq"
+                assert raw.call("echo", {"n": 2})["echo"]["n"] == 2
+                assert arq.call("echo", {"n": 3})["echo"]["n"] == 3
+            finally:
+                raw.close()
+                arq.close()
+
+    def test_remote_error_taxonomy_survives_the_reliable_channel(self):
+        """Handler failures must still surface as RpcRemoteError (never
+        re-queued), and the channel must survive them."""
+        with RpcServer(_handlers()) as server:
+            with RpcClient(
+                server.address, reliable=True, fault_profile="off"
+            ) as client:
+                with pytest.raises(RpcRemoteError, match="deliberate"):
+                    client.call("boom")
+                assert not isinstance(
+                    RpcRemoteError("m", 500, "x"), RpcError
+                )
+                assert client.call("echo", {"ok": 1}) == {"echo": {"ok": 1}}
+
+    def test_server_restart_between_calls_retries_fresh(self):
+        """A parked reliable connection whose server restarted must be
+        retried on a fresh connection — same policy as the raw client."""
+        first = RpcServer(_handlers())
+        first.start()
+        address = first.address
+        client = RpcClient(address, reliable=True, fault_profile="off")
+        try:
+            assert client.call("echo", {"n": 1})["echo"]["n"] == 1
+            first.stop()
+            second = RpcServer(
+                _handlers(), host=address[0], port=address[1]
+            )
+            second.start()
+            try:
+                assert client.call("echo", {"n": 2})["echo"]["n"] == 2
+            finally:
+                second.stop()
+        finally:
+            client.close()
+
+    def test_server_gone_for_good_raises_rpc_error(self):
+        server = RpcServer(_handlers())
+        server.start()
+        client = RpcClient(
+            server.address, timeout=1.0, reliable=True, fault_profile="off"
+        )
+        try:
+            client.call("echo", {"n": 1})
+            server.stop()
+            with pytest.raises(RpcError):
+                client.call("echo", {"n": 2})
+        finally:
+            client.close()
+
+    def test_chaos_on_both_ends_absorbed_by_arq(self):
+        """10% drop plus duplicates/reordering injected on client *and*
+        server frames: thirty keep-alive calls all succeed without a
+        single connection-level retry surfacing to the caller."""
+        spec = "seed=11,drop=0.1,dup=0.03,reorder=0.03"
+        with RpcServer(_handlers(), fault_profile=spec) as server:
+            with RpcClient(
+                server.address, reliable=True, fault_profile=spec
+            ) as client:
+                for i in range(30):
+                    payload = {"n": i, "pad": "x" * 2000}
+                    assert client.call("echo", payload) == {"echo": payload}
+
+    def test_channel_teardown_surfaces_as_rpc_error(self):
+        """Faults the channel cannot absorb (a torn frame) must map to
+        the retryable RpcError class — the dispatcher's re-queue signal —
+        not hang and not corrupt."""
+        with RpcServer(_handlers()) as server:
+            with RpcClient(
+                server.address,
+                reliable=True,
+                fault_profile="seed=6,client.truncate=1.0",
+            ) as client:
+                with pytest.raises(RpcError):
+                    client.call("echo", {"n": 1})

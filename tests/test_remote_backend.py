@@ -14,6 +14,7 @@ import json
 import os
 import subprocess
 import sys
+import threading
 from dataclasses import replace
 from pathlib import Path
 
@@ -180,6 +181,13 @@ class TestWorkerServeLoop:
                 client.call("run_shard", {"spec": {"version": 999}})
 
 
+def _dispatcher_threads() -> list[threading.Thread]:
+    """Live dispatcher threads (map_specs must join them on every exit)."""
+    return [
+        t for t in threading.enumerate() if t.name.startswith("remote-")
+    ]
+
+
 # ----------------------------------------------------------------------
 # Dispatcher: fan-out, re-queue on worker death, failure modes
 # ----------------------------------------------------------------------
@@ -210,6 +218,10 @@ class TestDistributedDispatch:
                 outcomes = executor.map_specs(specs)
         assert len(outcomes) == 6
         assert all(obs == reference for obs, _wall in outcomes)
+        # Regression: map_specs used to raise out of its wait loop without
+        # joining the dispatcher threads, leaking a daemon (and its open
+        # RpcClient socket) per worker connection on every chaotic run.
+        assert _dispatcher_threads() == []
 
     def test_coordinator_side_failure_surfaces_instead_of_hanging(self):
         """A deterministic coordinator-side failure (here: a spec whose
@@ -231,6 +243,8 @@ class TestDistributedDispatch:
             bad = replace(_spec("cox"), config=NotAConfig())
             with pytest.raises(ConfigurationError, match="serializ"):
                 executor.map_specs([_spec("att"), bad])
+            # The error path must also join every dispatcher thread.
+            assert _dispatcher_threads() == []
 
     def test_all_workers_dead_raises(self):
         with local_worker_pool(count=1, width=1) as addresses:
@@ -248,6 +262,98 @@ class TestDistributedDispatch:
     def test_empty_spec_list_is_trivially_empty(self):
         executor = DistributedExecutor(workers="127.0.0.1:1")
         assert executor.map_specs([]) == []
+
+
+# ----------------------------------------------------------------------
+# Chaos: injected frame loss under the reliable channel
+# ----------------------------------------------------------------------
+# Both directions lossy, plus duplicates and reordering — everything the
+# Go-Back-N channel is supposed to absorb without the dispatcher ever
+# re-queueing a spec.
+CHAOS_SPEC = "seed=29,drop=0.05,dup=0.02,reorder=0.02"
+
+
+class TestChaosReliableDispatch:
+    def test_injected_loss_yields_identical_results(self):
+        """5% frame loss on both directions of every coordinator/worker
+        connection, reliable channel on: outcomes must be byte-identical
+        to local serial execution, with no dispatcher thread leaked."""
+        reference = {
+            isp: run_shard_spec(_spec(isp))[0] for isp in ("cox", "att")
+        }
+        with local_worker_pool(
+            count=2, width=2, extra_args=("--fault-profile", CHAOS_SPEC)
+        ) as addresses:
+            executor = DistributedExecutor(
+                workers=addresses,
+                fault_profile=CHAOS_SPEC,
+                reliable=True,
+            )
+            specs = [_spec(isp) for isp in ("cox", "att", "cox", "att")]
+            outcomes = executor.map_specs(specs)
+        assert [obs for obs, _wall in outcomes] == [
+            reference["cox"], reference["att"],
+            reference["cox"], reference["att"],
+        ]
+        assert _dispatcher_threads() == []
+
+    def test_raw_clients_survive_loss_by_requeueing(self):
+        """Without the reliable channel the same loss is survivable too —
+        at the cost of re-queues/retries — because shard specs are
+        idempotent.  This pins the fallback story the reliability layer
+        improves on."""
+        loss_only = "seed=31,drop=0.05"  # duplicates are only safe under ARQ
+        reference, _ = run_shard_spec(_spec("cox"))
+        with local_worker_pool(
+            count=2, width=1, extra_args=("--fault-profile", loss_only)
+        ) as addresses:
+            executor = DistributedExecutor(
+                workers=addresses,
+                fault_profile=loss_only,
+                reliable=False,
+            )
+            outcomes = executor.map_specs([_spec("cox") for _ in range(4)])
+        assert all(obs == reference for obs, _wall in outcomes)
+        assert _dispatcher_threads() == []
+
+
+@pytest.mark.slow
+def test_chaos_golden_digest_at_five_percent_loss(tmp_path):
+    """The acceptance bar: a full remote curation at 5% injected loss on
+    both directions (reliable channel on) produces the exact digest the
+    clean serial pipeline produces."""
+    world = build_world(SMALL_WORLD_CONFIG)
+    clean = CurationPipeline(world, SMALL_CONFIG).curate()
+    with local_worker_pool(
+        count=2, width=2, extra_args=("--fault-profile", CHAOS_SPEC)
+    ) as addresses:
+        executor = DistributedExecutor(
+            workers=addresses, fault_profile=CHAOS_SPEC, reliable=True
+        )
+        chaotic = CurationPipeline(world, SMALL_CONFIG, executor=executor).curate()
+    assert chaotic.content_digest() == clean.content_digest()
+    assert chaotic.observations == clean.observations
+
+
+class TestWorkerChaosCli:
+    def test_bad_fault_profile_spec_fails_fast(self):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.dataset", "worker",
+                "--port", "0", "--fault-profile", "banana=0.1",
+            ],
+            env=dict(os.environ, PYTHONPATH=_pythonpath()),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode != 0
+        assert "banana" in result.stderr
+
+    def test_off_spec_accepted(self):
+        with local_worker_pool(
+            count=1, width=1, extra_args=("--fault-profile", "off")
+        ) as addresses:
+            with RpcClient(addresses[0]) as client:
+                assert client.call("ping")["ok"] is True
 
 
 # ----------------------------------------------------------------------

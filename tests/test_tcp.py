@@ -251,9 +251,12 @@ class TestReadHttpMessage:
 class TestKeepAliveTransport:
     def test_identical_responses_with_and_without_keepalive(self, server):
         """Regression: pooling must never change what the caller sees."""
-        fresh = TcpTransport({server.hostname: server.address})
+        fresh = TcpTransport(
+            {server.hostname: server.address}, fault_profile="off"
+        )
         pooled = TcpTransport(
-            {server.hostname: server.address}, keep_alive=True
+            {server.hostname: server.address}, keep_alive=True,
+            fault_profile="off",
         )
         try:
             for i in range(12):
@@ -268,7 +271,8 @@ class TestKeepAliveTransport:
 
     def test_connection_actually_reused(self, server):
         pooled = TcpTransport(
-            {server.hostname: server.address}, keep_alive=True
+            {server.hostname: server.address}, keep_alive=True,
+            fault_profile="off",
         )
         try:
             for i in range(5):
@@ -292,7 +296,8 @@ class TestKeepAliveTransport:
 
     def test_stale_pooled_socket_retries_fresh(self, server):
         pooled = TcpTransport(
-            {server.hostname: server.address}, keep_alive=True
+            {server.hostname: server.address}, keep_alive=True,
+            fault_profile="off",
         )
         try:
             pooled.send(
@@ -321,7 +326,9 @@ class TestKeepAliveTransport:
         first = TcpBatServer(_PingApp(), time_scale=0.0)
         first.start()
         address = first.address
-        pooled = TcpTransport({"ping.example": address}, keep_alive=True)
+        pooled = TcpTransport(
+            {"ping.example": address}, keep_alive=True, fault_profile="off"
+        )
         try:
             response = pooled.send(
                 HttpRequest.form_post("/check", {"n": "1"}),
@@ -355,7 +362,8 @@ class TestKeepAliveTransport:
         server = TcpBatServer(_PingApp(), time_scale=0.0)
         server.start()
         pooled = TcpTransport(
-            {"ping.example": server.address}, keep_alive=True, timeout=1.0
+            {"ping.example": server.address}, keep_alive=True, timeout=1.0,
+            fault_profile="off",
         )
         try:
             pooled.send(
@@ -374,7 +382,8 @@ class TestKeepAliveTransport:
         import pickle
 
         pooled = TcpTransport(
-            {server.hostname: server.address}, keep_alive=True
+            {server.hostname: server.address}, keep_alive=True,
+            fault_profile="off",
         )
         try:
             pooled.send(
@@ -464,7 +473,7 @@ class TestTruncatedResponses:
         address = self._one_shot_server(
             b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort"
         )
-        transport = TcpTransport({"trunc.example": address})
+        transport = TcpTransport({"trunc.example": address}, fault_profile="off")
         with pytest.raises(TransportError, match="truncated"):
             transport.send(
                 HttpRequest.get("/"), "trunc.example", "73.1.1.1", RealClock()
@@ -472,7 +481,7 @@ class TestTruncatedResponses:
 
     def test_split_header_then_eof_raises(self):
         address = self._one_shot_server(b"HTTP/1.1 200 OK\r\nContent-Le")
-        transport = TcpTransport({"trunc.example": address})
+        transport = TcpTransport({"trunc.example": address}, fault_profile="off")
         with pytest.raises(TransportError, match="truncated"):
             transport.send(
                 HttpRequest.get("/"), "trunc.example", "73.1.1.1", RealClock()
@@ -480,7 +489,7 @@ class TestTruncatedResponses:
 
     def test_close_without_response_raises_empty(self):
         address = self._one_shot_server(b"")
-        transport = TcpTransport({"trunc.example": address})
+        transport = TcpTransport({"trunc.example": address}, fault_profile="off")
         with pytest.raises(TransportError, match="empty response"):
             transport.send(
                 HttpRequest.get("/"), "trunc.example", "73.1.1.1", RealClock()
@@ -496,7 +505,9 @@ class TestTruncatedResponses:
         )
 
         async def go():
-            transport = AsyncTcpTransport({"trunc.example": address})
+            transport = AsyncTcpTransport(
+                {"trunc.example": address}, fault_profile="off"
+            )
             await transport.send(
                 HttpRequest.get("/"), "trunc.example", "73.1.1.1", RealClock()
             )
