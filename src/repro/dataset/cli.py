@@ -12,6 +12,11 @@ import os
 
 from ..errors import ConfigurationError
 from ..exec.base import EXECUTOR_BACKENDS
+from ..exec.membership import (
+    COORDINATOR_ENV,
+    ELASTIC_ENV,
+    parse_coordinator_address,
+)
 from ..exec.remote import REMOTE_WORKERS_ENV, parse_worker_addresses
 from ..exec.schedule import SCHEDULE_MODES, parse_chunk_tasks
 from .curation import CurationPipeline, CurationRunReport
@@ -40,22 +45,54 @@ def add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "REPRO_REMOTE_WORKERS).  Implies --backend "
                              "remote.  Start workers with `python -m "
                              "repro.dataset worker`")
+    parser.add_argument("--elastic", action="store_true", default=False,
+                        help="remote backend, elastic fleet: run a "
+                             "membership coordinator and consume whatever "
+                             "workers --join it (instead of a static "
+                             "--remote-workers list).  Implies --backend "
+                             "remote.  Equivalent to REPRO_ELASTIC=1")
+    parser.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                        help="bind address for the elastic membership "
+                             "coordinator (default: REPRO_COORDINATOR or "
+                             "127.0.0.1:7070).  Implies --elastic")
 
 
 def resolve_backend_choice(args: argparse.Namespace) -> str | None:
-    """Fold ``--remote-workers`` into the backend choice.
+    """Fold ``--remote-workers``/``--elastic``/``--coordinator`` into the
+    backend choice.
 
-    Validates the address list, publishes it through
-    ``REPRO_REMOTE_WORKERS`` (the one place ``resolve_executor("remote")``
-    reads fleet configuration, so CLI and environment can never drift),
-    and implies ``--backend remote`` when only the fleet was given.
+    Validates the addresses, publishes them through the environment
+    (``REPRO_REMOTE_WORKERS`` / ``REPRO_ELASTIC`` / ``REPRO_COORDINATOR``
+    — the one place ``resolve_executor("remote")`` reads fleet
+    configuration, so CLI and environment can never drift), and implies
+    ``--backend remote`` when only fleet knobs were given.  A static
+    fleet and an elastic one are mutually exclusive by construction.
     """
+    elastic = bool(getattr(args, "elastic", False)) or (
+        getattr(args, "coordinator", None) is not None
+    )
+    if elastic and args.remote_workers:
+        raise SystemExit(
+            "--elastic consumes the membership directory; do not also "
+            "pass --remote-workers"
+        )
     if args.remote_workers:
         try:
             parse_worker_addresses(args.remote_workers)
         except ConfigurationError as exc:
             raise SystemExit(f"--remote-workers: {exc}") from None
         os.environ[REMOTE_WORKERS_ENV] = args.remote_workers
+        if args.backend is None:
+            args.backend = "remote"
+    if elastic:
+        coordinator = getattr(args, "coordinator", None)
+        if coordinator is not None:
+            try:
+                parse_coordinator_address(coordinator)
+            except ConfigurationError as exc:
+                raise SystemExit(f"--coordinator: {exc}") from None
+            os.environ[COORDINATOR_ENV] = coordinator
+        os.environ[ELASTIC_ENV] = "1"
         if args.backend is None:
             args.backend = "remote"
     return args.backend

@@ -40,10 +40,16 @@ import argparse
 import os
 import sys
 import threading
+import time
 from dataclasses import replace
 from pathlib import Path
 
 from ..exec.base import default_max_workers
+from ..exec.membership import (
+    CoordinatorLink,
+    parse_coordinator_address,
+    worker_identity,
+)
 from ..exec.spec import (
     ShardSpec,
     full_shard_tasks,
@@ -72,15 +78,22 @@ class WorkerState:
         width: int,
         store: DiskShardStore | None = None,
         exit_after: int | None = None,
+        crash_after: int | None = None,
     ) -> None:
         self.width = width
         self.store = store
         self.exit_after = exit_after
+        self.crash_after = crash_after
         self.specs_run = 0
         self.cache_hits = 0
         self.requests = 0
         self.lock = threading.Lock()
         self.shutdown = threading.Event()
+        # Graceful-exit hook (--exit-after): set once the Nth run_shard
+        # has been *answered*; the serve loop then deregisters from any
+        # joined coordinator and stops cleanly — the distinct-from-crash
+        # path the membership directory records as ``left``.
+        self.drain = threading.Event()
 
     # ------------------------------------------------------------------
     # Handlers
@@ -113,8 +126,8 @@ class WorkerState:
         with self.lock:
             self.requests += 1
             if (
-                self.exit_after is not None
-                and self.requests > self.exit_after
+                self.crash_after is not None
+                and self.requests > self.crash_after
             ):
                 # Chaos hook for the re-queue regression tests: die the
                 # hard way, mid-request, without answering — exactly what
@@ -134,6 +147,7 @@ class WorkerState:
             if stored is not None and len(stored) == len(keys):
                 with self.lock:
                     self.cache_hits += 1
+                self._maybe_drain()
                 return self._reply(
                     spec, keys, stored, self._stored_wall(spec, tasks), True
                 )
@@ -171,9 +185,25 @@ class WorkerState:
                     )
                 )
                 self.store.flush()
+        self._maybe_drain()
         return self._reply(spec, keys, observations, wall_seconds, False)
 
     # ------------------------------------------------------------------
+    def _maybe_drain(self) -> None:
+        """Trip the graceful-exit latch once ``--exit-after`` is reached.
+
+        Called with the reply already computed, so the Nth request is
+        fully *answered* before the serve loop starts tearing down; a
+        straggler request that slips in during the short teardown window
+        is simply served too — specs are idempotent, and refusing it
+        would surface as a (fatal) deterministic remote error.
+        """
+        if self.exit_after is not None and not self.drain.is_set():
+            with self.lock:
+                reached = self.requests >= self.exit_after
+            if reached:
+                self.drain.set()
+
     def _stored_wall(self, spec: ShardSpec, tasks) -> float:
         """Best-effort execution cost of a cache-served spec."""
         if self.store is None:
@@ -238,8 +268,29 @@ def worker_main(argv: list[str]) -> int:
                              "with other workers/the coordinator")
     parser.add_argument("--cache-max-bytes", type=int, default=None,
                         help="LRU byte cap for the worker store")
+    parser.add_argument("--join", default=None, metavar="HOST:PORT",
+                        help="join the elastic fleet: register with the "
+                             "membership coordinator at HOST:PORT and "
+                             "heartbeat until shutdown (the coordinator "
+                             "side is `--backend remote --elastic`)")
+    parser.add_argument("--heartbeat-interval", type=float, default=None,
+                        help="initial beat cadence for --join, seconds "
+                             "(the coordinator's registration reply "
+                             "overrides it)")
+    parser.add_argument("--join-fault-profile", default=None,
+                        help="chaos knob: fault-injection spec for the "
+                             "membership link only (register/heartbeat "
+                             "frames), so heartbeat loss is testable "
+                             "without touching the spec data path")
+    # Chaos hooks for the elasticity/re-queue tests: --exit-after N
+    # drains *gracefully* (answer N run_shard requests, deregister from
+    # any joined coordinator, exit 0); --crash-after N dies the hard way
+    # (os._exit mid-request N+1, no goodbye) so death-by-missed-beats
+    # stays separately observable from a clean leave.
     parser.add_argument("--exit-after", type=int, default=None,
-                        help=argparse.SUPPRESS)  # chaos hook for tests
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--crash-after", type=int, default=None,
+                        help=argparse.SUPPRESS)
     parser.add_argument("--fault-profile", default=None,
                         help="chaos knob: a fault-injection spec for this "
                              "worker's server-side frames, e.g. "
@@ -256,7 +307,12 @@ def worker_main(argv: list[str]) -> int:
         if args.cache_dir is not None
         else None
     )
-    state = WorkerState(width, store=store, exit_after=args.exit_after)
+    state = WorkerState(
+        width,
+        store=store,
+        exit_after=args.exit_after,
+        crash_after=args.crash_after,
+    )
     server = RpcServer(
         {
             "ping": state.handle_ping,
@@ -270,18 +326,48 @@ def worker_main(argv: list[str]) -> int:
     )
     server.start()
     host, port = server.address
+    link = None
+    if args.join is not None:
+        link = CoordinatorLink(
+            parse_coordinator_address(args.join),
+            worker_identity(host, port),
+            announce={
+                "host": host,
+                "port": port,
+                "width": width,
+                "store": store is not None,
+                "pid": os.getpid(),
+            },
+            interval=args.heartbeat_interval,
+            fault_profile=args.join_fault_profile,
+        ).start()
     print(
         f"repro worker pid {os.getpid()} listening on {host}:{port} "
         f"(width {width}, store: "
-        f"{store.root if store is not None else 'none'})",
+        f"{store.root if store is not None else 'none'}"
+        + (f", joined {args.join}" if args.join is not None else "")
+        + ")",
         flush=True,
     )
     try:
-        while not state.shutdown.is_set():
+        while not state.shutdown.is_set() and not state.drain.is_set():
             state.shutdown.wait(timeout=0.5)
+            if state.drain.is_set():
+                break
     except KeyboardInterrupt:
         pass
     finally:
+        if state.drain.is_set():
+            # --exit-after: the Nth reply was computed inside the handler
+            # but is written by the connection thread after it returns;
+            # give that write a beat to flush before severing sockets.
+            time.sleep(0.3)
+        if link is not None:
+            # Graceful goodbye: the directory records ``left``, not a
+            # death by missed beats.  Crash paths (--crash-after,
+            # SIGKILL) never run this line — that asymmetry is the
+            # point.
+            link.stop(deregister=True)
         server.stop()
         if store is not None:
             store.flush()

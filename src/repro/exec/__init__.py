@@ -37,6 +37,18 @@ from .cache import (
     address_cache_key,
     shard_cache_keys,
 )
+from .membership import (
+    CoordinatorLink,
+    FleetCoordinator,
+    FleetDirectory,
+    WorkerRecord,
+    default_coordinator_address,
+    default_elastic,
+    ensure_coordinator,
+    parse_coordinator_address,
+    shutdown_coordinators,
+    worker_identity,
+)
 from .processes import ProcessPoolBackend
 from .remote import (
     DistributedExecutor,
@@ -44,6 +56,8 @@ from .remote import (
     default_remote_workers,
     local_worker_pool,
     parse_worker_addresses,
+    start_local_worker,
+    stop_local_worker,
 )
 from .schedule import (
     SCHEDULE_MODES,
@@ -95,6 +109,18 @@ __all__ = [
     "default_remote_workers",
     "local_worker_pool",
     "parse_worker_addresses",
+    "start_local_worker",
+    "stop_local_worker",
+    "CoordinatorLink",
+    "FleetCoordinator",
+    "FleetDirectory",
+    "WorkerRecord",
+    "default_coordinator_address",
+    "default_elastic",
+    "ensure_coordinator",
+    "parse_coordinator_address",
+    "shutdown_coordinators",
+    "worker_identity",
     "ShardSpec",
     "run_shard_spec",
     "spec_cache_keys",

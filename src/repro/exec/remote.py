@@ -25,7 +25,17 @@ coordinator half of shipping those specs off-machine:
   **re-queued** at the front of the queue for the surviving workers;
   specs are idempotent pure functions, so re-running one elsewhere is
   always safe.  Only when *every* worker is gone with work still pending
-  does the run fail.
+  does the run fail;
+* in **elastic mode** (``--elastic`` / ``REPRO_ELASTIC``) the fleet is
+  not a static list at all: the coordinator runs a membership directory
+  (:mod:`repro.exec.membership`) that workers join with ``python -m
+  repro.dataset worker --join host:port``, and ``map_specs`` watches it
+  live — late joiners get dispatch connections mid-run and immediately
+  pull ("steal") from the shared LPT queue, workers the failure detector
+  declares dead have their in-flight specs re-queued even when their
+  sockets have not broken yet, and a steal-vs-requeue race is harmless
+  by construction (results are recorded first-completion-wins, and every
+  completion of one spec is byte-identical).
 
 Generic :meth:`Executor.map` work — closures over live objects — cannot
 cross a machine boundary and is deliberately **not** shipped: it degrades
@@ -41,6 +51,7 @@ import os
 import subprocess
 import sys
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -50,6 +61,12 @@ from ..errors import ConfigurationError, TransportError
 from ..net.faults import FaultProfile
 from ..net.rpc import RpcClient, RpcRemoteError
 from .base import Executor
+from .membership import (
+    FleetCoordinator,
+    WorkerRecord,
+    default_elastic,
+    ensure_coordinator,
+)
 from .spec import spec_to_wire
 from .store import observation_from_dict
 
@@ -63,6 +80,8 @@ __all__ = [
     "default_remote_workers",
     "local_worker_pool",
     "parse_worker_addresses",
+    "start_local_worker",
+    "stop_local_worker",
 ]
 
 _ItemT = TypeVar("_ItemT")
@@ -137,6 +156,20 @@ class DistributedExecutor(Executor):
             channel (:mod:`repro.net.reliable`) so injected frame loss
             costs a retransmission instead of a spec re-queue; ``None``
             falls back to ``REPRO_RPC_RELIABLE``.
+        elastic: Consume a live membership directory
+            (:mod:`repro.exec.membership`) instead of a static list:
+            workers join/leave mid-run and ``map_specs`` follows.
+            ``None`` resolves to True when a ``coordinator`` is passed,
+            else to ``REPRO_ELASTIC`` (only when no static ``workers``
+            were given — an explicit fleet always means static mode).
+        coordinator: A started :class:`~repro.exec.membership.
+            FleetCoordinator` to consume (elastic mode).  None starts
+            (or reuses) the process-wide coordinator bound to
+            ``REPRO_COORDINATOR``.
+        join_timeout: Elastic mode only: how long ``map_specs`` tolerates
+            an *empty* fleet — at the start of a run (workers may still
+            be joining) or after losing every worker (a replacement may
+            be coming) — before failing, seconds.
     """
 
     name = "remote"
@@ -148,10 +181,33 @@ class DistributedExecutor(Executor):
         max_workers: int | None = None,
         fault_profile: "FaultProfile | str | None" = None,
         reliable: bool | None = None,
+        elastic: bool | None = None,
+        coordinator: "FleetCoordinator | None" = None,
+        join_timeout: float = 30.0,
     ) -> None:
         del max_workers  # width comes from the workers themselves
         self.fault_profile = fault_profile
         self.reliable = reliable
+        self.join_timeout = join_timeout
+        if elastic is None:
+            elastic = coordinator is not None or (
+                workers is None and default_elastic()
+            )
+        self.elastic = elastic
+        self._coordinator = coordinator
+        if elastic:
+            if workers is not None:
+                raise ConfigurationError(
+                    "elastic mode consumes the membership directory; do "
+                    "not also pass a static worker list"
+                )
+            if self._coordinator is None:
+                self._coordinator = ensure_coordinator()
+            self.call_timeout = call_timeout
+            self._workers: list[WorkerInfo] = []
+            self._probed = False
+            self._probe_lock = threading.Lock()
+            return
         if workers is None:
             addresses = default_remote_workers()
             if not addresses:
@@ -159,7 +215,9 @@ class DistributedExecutor(Executor):
                     "the remote backend needs worker addresses: set "
                     f"{REMOTE_WORKERS_ENV} or pass --remote-workers "
                     "host:port,... (start workers with "
-                    "`python -m repro.dataset worker`)"
+                    "`python -m repro.dataset worker`), or run elastic "
+                    "(--elastic / REPRO_ELASTIC=1) and have workers "
+                    "--join the coordinator"
                 )
         elif isinstance(workers, str):
             addresses = parse_worker_addresses(workers)
@@ -177,6 +235,11 @@ class DistributedExecutor(Executor):
         self._workers = [WorkerInfo(address) for address in addresses]
         self._probed = False
         self._probe_lock = threading.Lock()
+
+    @property
+    def coordinator(self) -> "FleetCoordinator | None":
+        """The membership coordinator (elastic mode only)."""
+        return self._coordinator
 
     # ------------------------------------------------------------------
     # Probing
@@ -220,7 +283,22 @@ class DistributedExecutor(Executor):
 
     @property
     def width(self) -> int:
-        """Total advertised fleet concurrency (drives ``auto`` chunking)."""
+        """Total advertised fleet concurrency (drives ``auto`` chunking).
+
+        In elastic mode this reads the membership directory — waiting
+        briefly for a first registration, so a pipeline built the
+        instant after its workers were launched still chunks for the
+        real fleet width instead of a momentarily-empty directory.
+        """
+        if self.elastic:
+            assert self._coordinator is not None
+            directory = self._coordinator.directory
+            deadline = time.monotonic() + min(5.0, self.join_timeout)
+            fleet = directory.dispatchable_workers()
+            while not fleet and time.monotonic() < deadline:
+                directory.wait_for_change(directory.version, timeout=0.2)
+                fleet = directory.dispatchable_workers()
+            return max(1, sum(worker.width for worker in fleet))
         live = self._probe()
         return max(1, sum(worker.width for worker in live))
 
@@ -247,6 +325,8 @@ class DistributedExecutor(Executor):
         specs = list(specs)
         if not specs:
             return []
+        if self.elastic:
+            return self._map_specs_elastic(specs)
         live = self._probe()
         if not live:
             raise TransportError(
@@ -297,9 +377,134 @@ class DistributedExecutor(Executor):
                 thread.join(timeout=5.0)
         return state.results  # type: ignore[return-value]
 
-    def _dispatch_loop(self, worker: WorkerInfo, state: "_DispatchState") -> None:
+    # ------------------------------------------------------------------
+    # Elastic dispatch: consume the membership directory live
+    # ------------------------------------------------------------------
+    def _map_specs_elastic(
+        self, specs: "list[ShardSpec]"
+    ) -> "list[tuple[tuple[AddressObservation, ...], float]]":
+        """Dispatch against whatever the directory says the fleet is.
+
+        The reconcile loop below runs in the caller's thread: every pass
+        it (1) spawns dispatch connections for each newly-registered
+        ``(worker, incarnation)`` — a hot-added worker starts stealing
+        from the shared LPT queue within one directory change; (2)
+        retires the connection set of any worker the failure detector
+        declared dead (or that gracefully left), re-queueing its
+        unanswered in-flight specs at the queue front; (3) fails only
+        after the fleet has been *empty* for ``join_timeout`` seconds
+        with work outstanding — a momentarily-empty fleet is normal
+        elasticity, not an error.
+
+        Steal-vs-requeue races are benign by construction: a spec both
+        re-queued (after its worker was declared dead) and still
+        completed by that worker's zombie connection is recorded
+        first-completion-wins (both byte-identical), and a later pull of
+        the stale queue copy sees the result slot filled and skips it.
+        """
+        assert self._coordinator is not None
+        directory = self._coordinator.directory
+        state = _DispatchState(specs)
+        controls: dict[tuple[str, int], _WorkerControl] = {}
+        empty_since: float | None = None
+        try:
+            while True:
+                with state.cv:
+                    if state.error is not None:
+                        raise state.error
+                    if state.unfinished == 0:
+                        break
+                fleet = {
+                    (rec.worker_id, rec.incarnation): rec
+                    for rec in directory.dispatchable_workers()
+                }
+                for key, control in controls.items():
+                    if key not in fleet:
+                        self._retire(control, state)
+                for key, rec in fleet.items():
+                    if key not in controls:
+                        controls[key] = self._enlist(rec, state, len(specs))
+                if fleet:
+                    empty_since = None
+                elif empty_since is None:
+                    empty_since = time.monotonic()
+                elif time.monotonic() - empty_since > self.join_timeout:
+                    with state.cv:
+                        unfinished = state.unfinished
+                    raise TransportError(
+                        f"{unfinished} shard specs left unfinished: no "
+                        f"worker joined the elastic fleet at "
+                        f"{self._coordinator.address[0]}:"
+                        f"{self._coordinator.address[1]} within "
+                        f"{self.join_timeout:.0f}s"
+                    )
+                # Wake on either a result landing (state.cv) or a
+                # membership change (directory version) — both bounded,
+                # so neither can stall the other's signal for long.
+                version = directory.version
+                with state.cv:
+                    if state.unfinished > 0 and state.error is None:
+                        state.cv.wait(timeout=0.05)
+                directory.wait_for_change(version, timeout=0.05)
+        finally:
+            with state.cv:
+                state.closing = True
+                state.cv.notify_all()
+            for control in controls.values():
+                for thread in control.threads:
+                    thread.join(timeout=5.0)
+        return state.results  # type: ignore[return-value]
+
+    def _enlist(
+        self, record: WorkerRecord, state: "_DispatchState", n_specs: int
+    ) -> "_WorkerControl":
+        """Spawn the dispatch connections for one worker incarnation."""
+        info = WorkerInfo(
+            address=record.address,
+            width=record.width,
+            has_store=record.has_store,
+        )
+        control = _WorkerControl(record.worker_id, record.incarnation)
+        slots = max(1, min(record.width, n_specs))
+        # Counted before any thread starts, so a fast-exiting dispatcher
+        # cannot race the bookkeeping below zero.
+        with state.cv:
+            state.live_threads += slots
+        for slot in range(slots):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(info, state, control),
+                name=(
+                    f"remote-{info.label}"
+                    f"#{record.incarnation}-{slot}"
+                ),
+                daemon=True,
+            )
+            thread.start()
+            control.threads.append(thread)
+        return control
+
+    @staticmethod
+    def _retire(control: "_WorkerControl", state: "_DispatchState") -> None:
+        """Stand a dead/left worker's connections down; re-queue its
+        unanswered in-flight specs at the queue front."""
+        with state.cv:
+            if control.retired:
+                return
+            control.retired = True
+            for index in control.in_flight.values():
+                if state.results[index] is None and index not in state.pending:
+                    state.pending.appendleft(index)
+            state.cv.notify_all()
+
+    def _dispatch_loop(
+        self,
+        worker: WorkerInfo,
+        state: "_DispatchState",
+        control: "_WorkerControl | None" = None,
+    ) -> None:
         client = self._client(worker)
-        index: int | None = None
+        slot = object()  # this connection's in-flight registry key
         try:
             while True:
                 with state.cv:
@@ -308,14 +513,25 @@ class DistributedExecutor(Executor):
                             state.unfinished == 0
                             or state.error is not None
                             or state.closing
+                            or (control is not None and control.retired)
                         ):
                             return
                         # Work may flow back into the queue if another
                         # worker dies with specs in flight; wait for it.
                         state.cv.wait(timeout=0.1)
-                    if state.error is not None or state.closing:
+                    if (
+                        state.error is not None
+                        or state.closing
+                        or (control is not None and control.retired)
+                    ):
                         return
                     index = state.pending.popleft()
+                    if state.results[index] is not None:
+                        # A steal-vs-requeue race already completed this
+                        # spec elsewhere; drop the stale queue copy.
+                        continue
+                    if control is not None:
+                        control.in_flight[slot] = index
                 spec = state.specs[index]
                 try:
                     reply = client.call(
@@ -339,8 +555,13 @@ class DistributedExecutor(Executor):
                     # sibling connections fail the same way on their next
                     # call).
                     with state.cv:
-                        state.pending.appendleft(index)
-                        index = None
+                        if control is not None:
+                            control.in_flight.pop(slot, None)
+                        if (
+                            state.results[index] is None
+                            and index not in state.pending
+                        ):
+                            state.pending.appendleft(index)
                         state.cv.notify_all()
                     client.close()
                     if self._still_alive(worker):
@@ -358,13 +579,20 @@ class DistributedExecutor(Executor):
                         state.cv.notify_all()
                     return
                 with state.cv:
-                    state.results[index] = outcome
-                    state.unfinished -= 1
-                    index = None
+                    if control is not None:
+                        control.in_flight.pop(slot, None)
+                    if state.results[index] is None:
+                        # First completion wins; a racing duplicate
+                        # (requeue-then-zombie-finish) is byte-identical
+                        # and simply discarded.
+                        state.results[index] = outcome
+                        state.unfinished -= 1
                     state.cv.notify_all()
         finally:
             client.close()
             with state.cv:
+                if control is not None:
+                    control.in_flight.pop(slot, None)
                 state.live_threads -= 1
                 state.cv.notify_all()
 
@@ -405,6 +633,24 @@ class _DispatchState:
         self.cv = threading.Condition()
 
 
+class _WorkerControl:
+    """Per-(worker, incarnation) dispatch bookkeeping for elastic mode.
+
+    ``in_flight`` maps each live dispatch connection (keyed by a private
+    sentinel) to the spec index it is currently awaiting, so the
+    reconcile loop can re-queue exactly the unanswered work when the
+    failure detector declares this incarnation dead.  All fields are
+    guarded by the owning ``_DispatchState.cv``.
+    """
+
+    def __init__(self, worker_id: str, incarnation: int) -> None:
+        self.worker_id = worker_id
+        self.incarnation = incarnation
+        self.retired = False
+        self.in_flight: dict[object, int] = {}
+        self.threads: list[threading.Thread] = []
+
+
 def _decode_run_reply(
     reply: dict,
 ) -> "tuple[tuple[AddressObservation, ...], float]":
@@ -422,6 +668,58 @@ def _decode_run_reply(
 # ----------------------------------------------------------------------
 # Loopback fleets (tests, benchmarks, quick starts)
 # ----------------------------------------------------------------------
+def start_local_worker(
+    width: int = 2,
+    cache_dir: "str | Path | None" = None,
+    extra_args: Sequence[str] = (),
+) -> subprocess.Popen:
+    """Spawn one loopback worker process (port 0, banner on stdout).
+
+    The returned process has a live ``stdout`` pipe; pass it to
+    ``_await_worker_banner`` to learn its bound address, and retire it
+    with ``stop_local_worker``.  Elastic tests use this directly to
+    hot-add a worker mid-``map_specs``.
+    """
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parents[1]
+    existing = os.environ.get("PYTHONPATH", "")
+    env = dict(
+        os.environ,
+        PYTHONPATH=(
+            f"{src_root}{os.pathsep}{existing}" if existing else str(src_root)
+        ),
+    )
+    command = [
+        sys.executable, "-m", "repro.dataset", "worker",
+        "--host", "127.0.0.1", "--port", "0",
+        "--width", str(width),
+    ]
+    if cache_dir is not None:
+        command += ["--cache-dir", str(cache_dir)]
+    command += list(extra_args)
+    return subprocess.Popen(
+        command,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+
+
+def stop_local_worker(proc: subprocess.Popen, timeout: float = 10.0) -> None:
+    """Terminate a loopback worker and reap it (kill if it lingers)."""
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+        proc.kill()
+        proc.wait(timeout=timeout)
+    if proc.stdout is not None:
+        proc.stdout.close()
+
+
 @contextlib.contextmanager
 def local_worker_pool(
     count: int = 2,
@@ -444,36 +742,15 @@ def local_worker_pool(
     (exercising the cross-process manifest lock).  Workers are terminated
     on exit.
     """
-    import repro
-
-    src_root = Path(repro.__file__).resolve().parents[1]
-    existing = os.environ.get("PYTHONPATH", "")
-    env = dict(
-        os.environ,
-        PYTHONPATH=(
-            f"{src_root}{os.pathsep}{existing}" if existing else str(src_root)
-        ),
-    )
     procs: list[subprocess.Popen] = []
     addresses: list[tuple[str, int]] = []
     try:
         for _ in range(count):
-            command = [
-                sys.executable, "-m", "repro.dataset", "worker",
-                "--host", "127.0.0.1", "--port", "0",
-                "--width", str(width),
-            ]
-            if cache_dir is not None:
-                command += ["--cache-dir", str(cache_dir)]
-            command += list(extra_args)
-            proc = subprocess.Popen(
-                command,
-                env=env,
-                stdout=subprocess.PIPE,
-                stderr=subprocess.DEVNULL,
-                text=True,
+            procs.append(
+                start_local_worker(
+                    width=width, cache_dir=cache_dir, extra_args=extra_args
+                )
             )
-            procs.append(proc)
         for proc in procs:
             addresses.append(_await_worker_banner(proc, startup_timeout))
         yield tuple(addresses)

@@ -203,13 +203,14 @@ class TestDistributedDispatch:
         assert outcomes[0][0] != outcomes[1][0]
 
     def test_worker_death_requeues_on_survivor(self):
-        """A worker that dies mid-request (answering nothing) must have
-        its in-flight spec re-queued on the surviving worker; the run
-        completes with correct results."""
+        """A worker that dies mid-request (answering nothing — the
+        ``--crash-after`` hard path, as opposed to ``--exit-after``'s
+        graceful drain) must have its in-flight spec re-queued on the
+        surviving worker; the run completes with correct results."""
         reference, _ = run_shard_spec(_spec("cox"))
         with local_worker_pool(count=1, width=1) as survivor:
             with local_worker_pool(
-                count=1, width=1, extra_args=("--exit-after", "1")
+                count=1, width=1, extra_args=("--crash-after", "1")
             ) as doomed:
                 executor = DistributedExecutor(
                     workers=tuple(survivor) + tuple(doomed)
