@@ -1,0 +1,508 @@
+"""Bench E-X8: serving goodput and latency at overload, admission vs none.
+
+The serving tier's whole argument is PCN's: shed load *before* the queue
+melts down, and an overloaded tier keeps serving its interactive class at
+SLO instead of degrading everybody equally.  This bench drives one real
+``python -m repro.dataset serve`` process per configuration through the
+same overload mix and measures what each delivers:
+
+* **admission** — the PCN-style controller: virtual-queue congestion
+  states, batch shedding with ``Retry-After``, a bounded in-flight queue.
+* **baseline** (``--no-admission``) — the "hope for the best" tier: same
+  service, same executor, no admission machinery; forced work piles into
+  an unbounded FIFO pool queue and interactive requests stand in it.
+
+Workload (identical for both runs, sized from a calibrated capacity):
+
+* **Open-loop interactive** senders: one warm cache-hit query fired on a
+  fixed schedule at ~1x capacity, each on its own thread — the traffic
+  the SLO protects.  Open loop matters: a closed-loop client that is
+  stuck in the baseline's queue stops offering load, which flatters
+  exactly the configuration this bench exists to indict.
+* 32 closed-loop **batch** clients hammering ``force=1`` re-curations
+  (each costing ~s_bar of real curation work) as fast as refusals allow,
+  honoring ``Retry-After`` hints — a well-behaved but relentless flood
+  offering several times the tier's capacity in work terms.
+
+Capacity is calibrated per machine, empirically on both axes: s_bar =
+median forced service time through the live server, and capacity = the
+measured throughput of concurrent forced queries (NOT width / s_bar —
+on a single-CPU box the GIL makes a nominal width-2 thread executor an
+effective width-1 service, and an admission controller configured with
+the nominal width would deliberately oversubscribe the machine).  The
+admission server is started with ``--serve-width`` set to the measured
+effective width and its cost prior seeded from s_bar.
+Goodput is the open-loop truth: interactive 200s answered *within the
+SLO*, per second of offered phase — a request answered late, or still
+stuck in a queue when the phase ends, earns nothing.
+
+Gates (the ISSUE's acceptance criterion, all asserted):
+
+* admission interactive p99 <= SLO and SLO-goodput >= 0.8 x capacity;
+* the baseline degrades both (p99 beyond SLO, goodput below the bar);
+* the batch flood offers >= 2x capacity in work terms;
+* every 200-status payload digest is byte-identical to the serial
+  curation path — overload may cost availability, never correctness.
+
+Machine-readable results go to ``BENCH_serving.json``, uploaded by the
+``serving`` CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dataset.curation import CurationConfig, shard_config_digest
+from repro.dataset.sampling import SamplingConfig
+from repro.errors import TransportError
+from repro.exec.remote import _await_worker_banner
+from repro.exec.spec import ShardSpec, run_shard_spec
+from repro.serve import ServeClient, shard_payload_digest
+from repro.world import WorldConfig
+
+CITY = "wichita"
+ISP = "cox"
+SEED = 11
+SCALE = 0.02
+# Shard sized so one forced re-curation is ~0.3-0.6 s of real work on a
+# developer machine: big enough that overload is unambiguous, small
+# enough that two 12 s load phases finish in about a minute.
+FRACTION = 0.4
+MIN_SAMPLES = 20
+WORKERS = 5
+
+WIDTH = 2  # nominal executor width (threads); effective width is measured
+QUEUE_DEPTH = 12
+SLO_MS = 500.0
+PHASE_SECONDS = 12.0
+# After the phase stops offering load, in-flight requests get this long
+# to finish before the server is torn down under them; a request still
+# stuck then is a failure (and was far beyond the SLO anyway).
+GRACE_SECONDS = 3.0
+CALIBRATION_QUERIES = 5
+CAPACITY_SECONDS = 6.0
+CAPACITY_CLIENTS = 4
+BATCH_CLIENTS = 32
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+TEXT_PATH = OUTPUT_DIR / "serving.txt"
+JSON_PATH = OUTPUT_DIR / "BENCH_serving.json"
+
+COMMON_ARGS = [
+    "--seed", str(SEED), "--scale", str(SCALE), "--cities", CITY,
+    "--fraction", str(FRACTION), "--min-samples", str(MIN_SAMPLES),
+    "--workers", str(WORKERS),
+    "--backend", "thread", "--max-workers", str(WIDTH),
+    "--fault-profile", "off", "--prewarm",
+    # Rate limits out of the way: this bench is about congestion
+    # shedding, not per-client policing (test_serve covers the 429s).
+    "--rate", "1000", "--isp-rate", "100000",
+]
+BASELINE_ARGS = COMMON_ARGS + ["--no-admission"]
+
+
+def _admission_args(effective_width: int, s_bar: float) -> list[str]:
+    """Admission flags sized from the calibration measurements.
+
+    ``--serve-width`` carries the *measured* effective width so the
+    virtual queue drains at theta x what the box really does; theta 0.5
+    buys a wide early-warning margin, which is what keeps the executor
+    lightly enough loaded that warm interactive hits stay inside the SLO
+    even while batch work runs.  The cost prior starts at s_bar instead
+    of the CLI default so the first pounce of the batch flood is priced
+    honestly (the EWMA would converge there anyway; this skips the
+    mispriced opening round).
+    """
+    return COMMON_ARGS + [
+        "--serve-width", str(effective_width),
+        "--queue-depth", str(QUEUE_DEPTH),
+        "--theta", "0.5",
+        "--est-cost", f"{s_bar:.3f}",
+    ]
+
+
+def _serial_digest() -> str:
+    """The correctness oracle: the shard via the serial curation path."""
+    world_config = WorldConfig(seed=SEED, scale=SCALE, cities=(CITY,))
+    config = CurationConfig(
+        sampling=SamplingConfig(fraction=FRACTION, min_samples=MIN_SAMPLES),
+        n_workers=WORKERS,
+    )
+    digest = shard_config_digest(world_config, config, CITY, ISP)
+    observations, _wall = run_shard_spec(
+        ShardSpec(
+            world=world_config, city=CITY, isp=ISP,
+            config=config, config_digest=digest,
+        )
+    )
+    return shard_payload_digest(observations)
+
+
+def _start_server(extra_args: list[str], timeout: float = 120.0):
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parents[1]
+    existing = os.environ.get("PYTHONPATH", "")
+    env = dict(
+        os.environ,
+        PYTHONPATH=(
+            f"{src_root}{os.pathsep}{existing}" if existing else str(src_root)
+        ),
+    )
+    env.pop("REPRO_FAULT_PROFILE", None)  # the bench times clean serving
+    command = [
+        sys.executable, "-m", "repro.dataset", "serve",
+        "--host", "127.0.0.1", "--port", "0",
+    ] + extra_args
+    proc = subprocess.Popen(
+        command, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+    try:
+        address = _await_worker_banner(proc, timeout)
+    except Exception:
+        proc.terminate()
+        proc.wait(timeout=10.0)
+        raise
+    return proc, address
+
+
+def _stop_server(proc) -> None:
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        proc.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:  # pragma: no cover - stuck server
+        proc.kill()
+        proc.wait(timeout=10.0)
+    if proc.stdout is not None:
+        proc.stdout.close()
+
+
+def _calibrate(address) -> float:
+    """Median forced service time through the live server (seconds)."""
+    samples = []
+    with ServeClient(*address, client_id="calibrate", timeout=60.0) as client:
+        for _ in range(CALIBRATION_QUERIES):
+            started = time.monotonic()
+            response = client.query(CITY, ISP, force=True)
+            assert response.status == 200, response.status
+            samples.append(time.monotonic() - started)
+    return statistics.median(samples)
+
+
+def _measure_capacity(address) -> float:
+    """Measured forced-query throughput (requests/second), concurrent.
+
+    Closed-loop concurrent clients against the no-admission server: the
+    completions/second they sustain is the tier's *effective* service
+    capacity on this machine — which on a 1-CPU box is roughly half the
+    nominal ``WIDTH / s_bar`` because the GIL serializes the thread
+    executor.  Everything downstream (offered interactive load, the
+    goodput bar, the admission width) is sized from this truth.
+    """
+    deadline = time.monotonic() + CAPACITY_SECONDS
+    completions = [0]
+    lock = threading.Lock()
+
+    def loop(index: int) -> None:
+        with ServeClient(*address, client_id=f"cap-{index}", timeout=60.0) as client:
+            while time.monotonic() < deadline:
+                response = client.query(CITY, ISP, force=True)
+                if response.status == 200:
+                    with lock:
+                        completions[0] += 1
+
+    threads = [
+        threading.Thread(target=loop, args=(i,), daemon=True)
+        for i in range(CAPACITY_CLIENTS)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=CAPACITY_SECONDS + 60.0)
+    elapsed = time.monotonic() - started
+    assert completions[0] > 0, "capacity probe served nothing"
+    return completions[0] / elapsed
+
+
+class _Phase:
+    """Shared state of one load phase (threads append under the lock)."""
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+        self.lock = threading.Lock()
+        self.latencies: list[float] = []  # every scheduled interactive request
+        self.ok_latencies: list[float] = []  # the 200s only
+        self.interactive_sent = 0
+        self.interactive_ok = 0
+        self.interactive_refused = 0
+        self.interactive_errors = 0
+        self.batch_attempts = 0
+        self.batch_ok = 0
+        self.batch_refused = 0
+        self.batch_errors = 0
+        self.digests: set[str] = set()
+
+
+def _interactive_once(phase: _Phase, address) -> None:
+    """One open-loop interactive request on its own thread + connection."""
+    client = ServeClient(*address, client_id="interactive", timeout=60.0)
+    sent = time.monotonic()
+    try:
+        response = client.query(CITY, ISP)
+    except (TransportError, OSError):
+        # Most often: the phase ended and the server was torn down while
+        # this request was still stuck in the baseline's queue.  The
+        # elapsed time is a *lower bound* on what the latency would have
+        # been — record it so the percentiles cannot flatter the queue.
+        elapsed = time.monotonic() - sent
+        with phase.lock:
+            phase.interactive_sent += 1
+            phase.interactive_errors += 1
+            phase.latencies.append(elapsed)
+        return
+    finally:
+        client.close()
+    elapsed = time.monotonic() - sent
+    with phase.lock:
+        phase.interactive_sent += 1
+        phase.latencies.append(elapsed)
+        if response.status == 200:
+            phase.interactive_ok += 1
+            phase.ok_latencies.append(elapsed)
+            phase.digests.add(json.loads(response.text())["digest"])
+        else:
+            phase.interactive_refused += 1
+
+
+def _interactive_schedule(
+    phase: _Phase, address, interval: float
+) -> list[threading.Thread]:
+    """Fire open-loop interactive requests on a fixed schedule.
+
+    Runs until the phase deadline, spawning one worker thread per tick
+    whether or not earlier requests have returned — the offered load
+    never slackens because the server is slow.  Returns the workers for
+    the caller to join after the server is stopped.
+    """
+    workers: list[threading.Thread] = []
+    k = 0
+    start = time.monotonic()
+    while True:
+        target = start + k * interval
+        if target >= phase.deadline:
+            return workers
+        now = time.monotonic()
+        if target > now:
+            time.sleep(target - now)
+        k += 1
+        worker = threading.Thread(
+            target=_interactive_once, args=(phase, address),
+            name=f"bench-int-{k}", daemon=True,
+        )
+        worker.start()
+        workers.append(worker)
+
+
+def _batch_loop(phase: _Phase, address, index: int) -> None:
+    client = ServeClient(*address, client_id=f"batch-{index}", timeout=60.0)
+    try:
+        while time.monotonic() < phase.deadline:
+            try:
+                response = client.query(CITY, ISP, klass="batch", force=True)
+            except (TransportError, OSError):
+                with phase.lock:
+                    phase.batch_attempts += 1
+                    phase.batch_errors += 1
+                client.close()
+                continue
+            with phase.lock:
+                phase.batch_attempts += 1
+                if response.status == 200:
+                    phase.batch_ok += 1
+                    phase.digests.add(json.loads(response.text())["digest"])
+                else:
+                    phase.batch_refused += 1
+            if response.status in (429, 503):
+                # A well-behaved client: back off on the server's
+                # schedule instead of hammering the refusal path.
+                hint = response.header("Retry-After")
+                try:
+                    pause = float(hint) if hint else 0.1
+                except ValueError:
+                    pause = 0.1
+                time.sleep(min(max(pause, 0.05), 2.0))
+    finally:
+        client.close()
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return float("inf")
+    ranked = sorted(values)
+    return ranked[min(len(ranked) - 1, int(fraction * (len(ranked) - 1)))]
+
+
+def _load_phase(proc, address, capacity_rps: float) -> dict:
+    """Drive the overload mix for PHASE_SECONDS; return the metrics.
+
+    Owns the server's teardown: after the phase stops offering load,
+    in-flight requests get GRACE_SECONDS to finish, then the server is
+    stopped under whatever is still stuck — those requests fail fast and
+    are scored as failures with their elapsed time as a latency lower
+    bound, instead of blocking the bench behind the baseline's queue.
+    """
+    interval = 1.0 / capacity_rps
+    phase = _Phase(deadline=time.monotonic() + PHASE_SECONDS)
+    batch_threads = [
+        threading.Thread(
+            target=_batch_loop, args=(phase, address, i),
+            name=f"bench-batch-{i}", daemon=True,
+        )
+        for i in range(BATCH_CLIENTS)
+    ]
+    for thread in batch_threads:
+        thread.start()
+    workers = _interactive_schedule(phase, address, interval)
+    time.sleep(GRACE_SECONDS)
+    _stop_server(proc)
+    for thread in batch_threads + workers:
+        thread.join(timeout=30.0)
+    with phase.lock:
+        ok_within_slo = sum(
+            1 for latency in phase.ok_latencies
+            if latency * 1000.0 <= SLO_MS
+        )
+        return {
+            "interactive_sent": phase.interactive_sent,
+            "interactive_ok": phase.interactive_ok,
+            "interactive_ok_within_slo": ok_within_slo,
+            "interactive_refused": phase.interactive_refused,
+            "interactive_errors": phase.interactive_errors,
+            "goodput_rps": round(ok_within_slo / PHASE_SECONDS, 3),
+            "p50_ms": round(_percentile(phase.latencies, 0.50) * 1000.0, 2),
+            "p99_ms": round(_percentile(phase.latencies, 0.99) * 1000.0, 2),
+            "batch_attempts": phase.batch_attempts,
+            "batch_ok": phase.batch_ok,
+            "batch_refused": phase.batch_refused,
+            "batch_errors": phase.batch_errors,
+            "batch_attempt_rps": round(
+                phase.batch_attempts / PHASE_SECONDS, 3
+            ),
+            "digests": sorted(phase.digests),
+        }
+
+
+@pytest.mark.slow
+def test_overload_admission_vs_baseline():
+    oracle = _serial_digest()
+
+    # --- baseline server: calibrate here (no admission in the way),
+    # then drive the overload phase against it ---------------------------
+    proc, address = _start_server(BASELINE_ARGS)
+    try:
+        s_bar = _calibrate(address)
+        capacity_rps = _measure_capacity(address)
+        effective_width = max(1, round(capacity_rps * s_bar))
+        baseline = _load_phase(proc, address, capacity_rps)
+    finally:
+        _stop_server(proc)  # idempotent; _load_phase already stopped it
+
+    # --- admission run, identical offered load --------------------------
+    proc, address = _start_server(_admission_args(effective_width, s_bar))
+    try:
+        admission = _load_phase(proc, address, capacity_rps)
+    finally:
+        _stop_server(proc)
+
+    slo_ms = SLO_MS
+    goodput_bar = 0.8 * capacity_rps
+    # Work terms: each forced attempt asks for ~s_bar of curation, and
+    # the tier can do capacity_rps * s_bar of work per second.
+    offered_work_multiple = admission["batch_attempt_rps"] / capacity_rps
+
+    lines = [
+        "Bench E-X8: serving at overload, PCN admission vs no-admission "
+        f"baseline (open-loop interactive @ {capacity_rps:.2f}rps + "
+        f"{BATCH_CLIENTS} batch clients)",
+        f"s_bar={s_bar * 1000.0:.0f}ms capacity={capacity_rps:.2f}rps "
+        f"slo={slo_ms:.0f}ms goodput_bar={goodput_bar:.2f}rps "
+        f"offered_work={offered_work_multiple:.1f}x",
+        f"{'config':>10s}{'p50_ms':>9s}{'p99_ms':>9s}{'goodput':>9s}"
+        f"{'refused':>9s}{'batch200':>9s}{'shed':>9s}",
+    ]
+    for name, run in (("admission", admission), ("baseline", baseline)):
+        lines.append(
+            f"{name:>10s}{run['p50_ms']:>9.1f}{run['p99_ms']:>9.1f}"
+            f"{run['goodput_rps']:>9.2f}{run['interactive_refused']:>9d}"
+            f"{run['batch_ok']:>9d}{run['batch_refused']:>9d}"
+        )
+    report_text = "\n".join(lines)
+    print("\n" + report_text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    TEXT_PATH.write_text(report_text + "\n")
+
+    digest_sets = {
+        "admission": admission.pop("digests"),
+        "baseline": baseline.pop("digests"),
+    }
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "serving",
+                "seed": SEED,
+                "scale": SCALE,
+                "fraction": FRACTION,
+                "min_samples": MIN_SAMPLES,
+                "width": WIDTH,
+                "effective_width": effective_width,
+                "queue_depth": QUEUE_DEPTH,
+                "slo_ms": slo_ms,
+                "phase_seconds": PHASE_SECONDS,
+                "grace_seconds": GRACE_SECONDS,
+                "interactive_offered_rps": round(capacity_rps, 3),
+                "batch_clients": BATCH_CLIENTS,
+                "s_bar_ms": round(s_bar * 1000.0, 2),
+                "capacity_rps": round(capacity_rps, 3),
+                "offered_work_multiple": round(offered_work_multiple, 2),
+                "reference_digest": oracle,
+                "runs": {"admission": admission, "baseline": baseline},
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+
+    # Correctness before performance: every 200 payload, either class,
+    # under either configuration, is byte-identical to the serial path.
+    for name, digests in digest_sets.items():
+        assert set(digests) <= {oracle}, (name, digests)
+    assert digest_sets["admission"], "admission run served nothing"
+
+    # The premise: the batch flood alone offers >= 2x capacity in work.
+    assert offered_work_multiple >= 2.0, offered_work_multiple
+
+    # The acceptance criterion.  Admission holds the interactive SLO and
+    # delivers >= 80% of capacity as goodput...
+    assert admission["p99_ms"] <= slo_ms, admission
+    assert admission["goodput_rps"] >= goodput_bar, (
+        admission["goodput_rps"], goodput_bar,
+    )
+    # ...while the baseline, given the same load, degrades both.
+    assert baseline["p99_ms"] > slo_ms, baseline
+    assert baseline["goodput_rps"] < goodput_bar, (
+        baseline["goodput_rps"], goodput_bar,
+    )
+    assert baseline["p99_ms"] > admission["p99_ms"]
+    assert baseline["goodput_rps"] < admission["goodput_rps"]

@@ -1,4 +1,4 @@
-"""Retry policy with residential-IP rotation.
+"""Retry policies: query-level IP rotation and the shared backoff helper.
 
 When a BAT blocks a client (rate limit or cookie anomaly), the operational
 response is to lease a fresh residential exit IP and retry — the reason the
@@ -6,20 +6,138 @@ paper routes traffic through the Bright Data pool in the first place.
 :class:`RetryingQueryClient` wraps a transport + proxy pool and applies
 that policy; transient technical errors are retried in place (they are
 sticky per address in our BATs, so one retry suffices to confirm).
+
+:class:`BackoffPolicy` / :func:`retry_with_backoff` are the *transport*
+analogue, shared by every client-side retry loop in the codebase (the RPC
+client, the worker's coordinator link, the serving-tier client): jittered
+exponential backoff so a fleet of retrying clients never synchronizes into
+a thundering herd, ``Retry-After`` awareness so a server that *told* us
+when to come back is respected instead of hammered, and deadline awareness
+so retrying never outlives the caller's budget.  Both the clock and the
+jitter RNG are injectable, so the schedule is unit-testable with zero real
+sleeps.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, TransportError
+from ..net.clock import Clock, RealClock
 from ..net.proxy import ResidentialProxyPool
 from ..net.transport import Transport
 from ..seeding import derive_seed
 from .bqt import BroadbandQueryTool
 from .workflow import QueryResult, QueryStatus
 
-__all__ = ["RetryPolicy", "RetryingQueryClient"]
+__all__ = [
+    "BackoffPolicy",
+    "RetryPolicy",
+    "RetryingQueryClient",
+    "retry_with_backoff",
+]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """A jittered exponential backoff schedule.
+
+    The pause before retry ``attempt`` (0-based) is
+    ``base_delay * multiplier ** attempt`` capped at ``max_delay``, then
+    jittered *downward* by up to ``jitter`` of itself (full jitter keeps
+    retrying clients decorrelated without ever exceeding the cap).  A
+    server-supplied ``Retry-After`` hint overrides the exponential pause
+    when it is *longer* — the server knows its own congestion horizon
+    better than our schedule does — and is deliberately not capped by
+    ``max_delay``.
+
+    Attributes:
+        base_delay: First retry's pause, seconds.
+        multiplier: Growth factor per attempt.
+        max_delay: Cap on the exponential pause, seconds.
+        jitter: Fraction of the pause randomized away (0 = deterministic).
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ConfigurationError("base_delay must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError("max_delay must be >= base_delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def delay(
+        self,
+        attempt: int,
+        rng: random.Random | None = None,
+        retry_after: float | None = None,
+    ) -> float:
+        """The pause before 0-based retry ``attempt``, seconds."""
+        pause = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if self.jitter and rng is not None:
+            pause -= pause * self.jitter * rng.random()
+        if retry_after is not None and retry_after > pause:
+            pause = float(retry_after)
+        return pause
+
+
+def retry_with_backoff(
+    fn: Callable[[], _T],
+    attempts: int = 3,
+    policy: BackoffPolicy | None = None,
+    retryable: tuple[type[BaseException], ...] = (TransportError, OSError),
+    clock: Clock | None = None,
+    deadline: float | None = None,
+    rng: random.Random | None = None,
+) -> _T:
+    """Call ``fn`` until it succeeds, backing off between retryable failures.
+
+    Args:
+        fn: Zero-argument callable; its return value passes through.
+        attempts: Total call budget (1 = no retries).
+        policy: Backoff schedule (defaults to :class:`BackoffPolicy`).
+        retryable: Exception types worth retrying; anything else (and the
+            final attempt's failure) propagates unchanged.  An exception
+            carrying a ``retry_after`` attribute (e.g.
+            :class:`~repro.net.rpc.RpcBusyError`) floors the next pause at
+            the server's hint.
+        clock: Time source for pauses (``now``/``sleep``); injectable for
+            sleep-free tests.  Defaults to wall time.
+        deadline: Absolute time on ``clock.now()``'s axis after which no
+            further retry is attempted — the last failure propagates
+            instead of sleeping past the caller's budget.
+        rng: Jitter source; injectable for deterministic tests.
+    """
+    if attempts < 1:
+        raise ConfigurationError(f"attempts must be >= 1: {attempts}")
+    policy = policy if policy is not None else BackoffPolicy()
+    clock = clock if clock is not None else RealClock()
+    rng = rng if rng is not None else random.Random()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retryable as exc:
+            if attempt + 1 >= attempts:
+                raise
+            pause = policy.delay(
+                attempt, rng=rng, retry_after=getattr(exc, "retry_after", None)
+            )
+            if deadline is not None and clock.now() + pause >= deadline:
+                raise
+            clock.sleep(pause)
+            attempt += 1
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,13 @@ store root's manifest — entries in LRU order plus recorded shard costs::
     python -m repro.dataset worker --port 7071 --width 4 &
     python -m repro.dataset --backend remote --remote-workers 127.0.0.1:7071
     python -m repro.dataset cache ls --cache-dir ~/.cache/repro
+
+A ``serve`` subcommand runs the online serving tier: an HTTP query API
+over the two-tier cache with PCN-style admission control (see
+:mod:`repro.serve`)::
+
+    python -m repro.dataset serve --port 7300 --cities wichita \\
+        --cache-dir ~/.cache/repro --rate 20 --slo-ms 500
 """
 
 from __future__ import annotations
@@ -56,6 +63,12 @@ def main(argv: list[str] | None = None) -> int:
         return worker_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Imported lazily: the serving tier pulls asyncio + admission
+        # machinery the batch CLI never needs.
+        from ..serve.cli import serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.dataset",

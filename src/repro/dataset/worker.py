@@ -297,6 +297,12 @@ def worker_main(argv: list[str]) -> int:
                              "'seed=7,server.drop=0.05' (overrides "
                              "REPRO_FAULT_PROFILE; 'off' disables). See "
                              "repro.net.faults for the spec grammar")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="refuse RPC calls beyond this many in flight "
+                             "with 503 + Retry-After instead of queueing "
+                             "them (default: unbounded).  Coordinators "
+                             "back off and re-queue refused specs at the "
+                             "back of the line")
     args = parser.parse_args(argv)
 
     width = args.width if args.width is not None else default_max_workers()
@@ -323,6 +329,7 @@ def worker_main(argv: list[str]) -> int:
         host=args.host,
         port=args.port,
         fault_profile=args.fault_profile,
+        max_inflight=args.max_inflight,
     )
     server.start()
     host, port = server.address

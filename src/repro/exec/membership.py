@@ -35,10 +35,13 @@ worker-side join/heartbeat loop.
 from __future__ import annotations
 
 import os
+import random
 import threading
+import zlib
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
+from ..core.retry import BackoffPolicy
 from ..errors import ConfigurationError, TransportError
 from ..net.clock import Clock, RealClock
 from ..net.rpc import RpcClient, RpcRemoteError, RpcServer
@@ -601,9 +604,17 @@ class CoordinatorLink:
       a restarted coordinator lost its state) triggers an immediate
       re-registration (a fresh incarnation);
     * an unreachable coordinator (connection refused/timed out) is
-      retried every interval — workers may legitimately start before
-      their coordinator, or outlive one coordinator process into the
-      next, and simply join whichever binds the address next.
+      retried on a jittered backoff (the shared
+      :class:`~repro.core.retry.BackoffPolicy`): the first failure waits
+      roughly one interval as before, consecutive failures stretch the
+      wait toward twice the interval so a whole fleet whose coordinator
+      died never hammers the vacant address in lock-step — workers may
+      legitimately start before their coordinator, or outlive one
+      coordinator process into the next, and simply join whichever binds
+      the address next.  The cap is deliberately *tight* (2x, well
+      inside the directory's suspect window) so a healthy-but-lossy link
+      dropping a few beats in a row never backs off far enough to be
+      declared dead by its own politeness.
 
     Args:
         address: The coordinator's ``host:port``.
@@ -638,6 +649,9 @@ class CoordinatorLink:
         self._incarnation = 0
         self._client: RpcClient | None = None
         self._thread: threading.Thread | None = None
+        self._failures = 0  # consecutive link failures (drives backoff)
+        # Jitter seeded from the stable worker id, so chaos runs replay.
+        self._rng = random.Random(zlib.crc32(worker_id.encode("utf-8")))
 
     # Link RPCs are short; a beat that cannot complete well inside the
     # suspect window is as good as lost.
@@ -716,10 +730,12 @@ class CoordinatorLink:
                         reply.get("heartbeat_interval", self.interval)
                     )
                     self._registered = True
+                    self._failures = 0
                 else:
                     reply = self._ensure_client().call(
                         "heartbeat", {"worker": self.worker_id}
                     )
+                    self._failures = 0
                     if not reply.get("ok", False):
                         # Declared dead (or the coordinator restarted):
                         # re-register on the next pass, without waiting a
@@ -729,16 +745,36 @@ class CoordinatorLink:
                         continue
             except (TransportError, RpcRemoteError, OSError):
                 # Coordinator unreachable or the beat was chaos-dropped.
-                # Either way: fresh registration attempt after one
-                # interval.  Keep the *client object* — its per-dial
-                # counter keys the fault injector, so each reconnect
-                # draws a distinct (still seed-deterministic) fault
-                # stream; a fresh client would replay dial #1's verdicts
-                # and a dropped register frame would stay dropped on
-                # every retry, forever.
+                # Either way: fresh registration attempt after a backoff.
+                # Keep the *client object* — its per-dial counter keys
+                # the fault injector, so each reconnect draws a distinct
+                # (still seed-deterministic) fault stream; a fresh client
+                # would replay dial #1's verdicts and a dropped register
+                # frame would stay dropped on every retry, forever.
                 self._registered = False
-            self._stop.wait(self.interval)
+                self._failures += 1
+            self._stop.wait(self._next_wait())
         self._drop_client()
+
+    def _next_wait(self) -> float:
+        """The pause before the next link pass, seconds.
+
+        One interval on the healthy path.  After consecutive failures the
+        shared jittered backoff stretches it, capped at twice the interval
+        — enough to keep a dead coordinator's whole ex-fleet from dialing
+        in lock-step, and tight enough (well inside ``suspect_misses`` x
+        interval, let alone ``dead_after``) that a lossy-but-alive link
+        never politely backs off into a death sentence.
+        """
+        if self._failures <= 1:
+            return self.interval
+        policy = BackoffPolicy(
+            base_delay=self.interval,
+            multiplier=2.0,
+            max_delay=self.interval * 2.0,
+            jitter=0.25,
+        )
+        return policy.delay(self._failures - 1, rng=self._rng)
 
 
 def worker_identity(host: str, port: int, pid: int | None = None) -> str:

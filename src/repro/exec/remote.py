@@ -59,7 +59,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence, TypeVar
 
 from ..errors import ConfigurationError, TransportError
 from ..net.faults import FaultProfile
-from ..net.rpc import RpcClient, RpcRemoteError
+from ..net.rpc import RpcBusyError, RpcClient, RpcRemoteError
 from .base import Executor
 from .membership import (
     FleetCoordinator,
@@ -545,6 +545,26 @@ class DistributedExecutor(Executor):
                         state.error = exc
                         state.cv.notify_all()
                     return
+                except RpcBusyError as exc:
+                    # The worker's admission queue refused the call before
+                    # it started: the worker is saturated, not dead.  The
+                    # spec goes back at the *back* of the queue (an idle
+                    # worker may pull it first; at the front it would
+                    # bounce straight back here) and this connection
+                    # pauses for the server's Retry-After hint instead of
+                    # hammering — backoff, not failover.
+                    with state.cv:
+                        if control is not None:
+                            control.in_flight.pop(slot, None)
+                        if (
+                            state.results[index] is None
+                            and index not in state.pending
+                        ):
+                            state.pending.append(index)
+                        pause = min(max(exc.retry_after or 0.05, 0.01), 1.0)
+                        if not state.closing and state.error is None:
+                            state.cv.wait(timeout=pause)
+                    continue
                 except (TransportError, OSError):
                     # The connection (or the worker behind it) failed;
                     # put the in-flight spec back at the *front* — under

@@ -322,6 +322,68 @@ class DiskShardStore:
             self._touch(digest, payload, path)
         return observations
 
+    def find_stale(
+        self,
+        city: str,
+        isp: str,
+        seed: int | None = None,
+        scale: float | None = None,
+    ) -> "tuple[tuple[AddressObservation, ...], ShardMeta] | None":
+        """Stale-while-revalidate read: the freshest (city, ISP) entry
+        *regardless of config digest*.
+
+        The content-addressed :meth:`get` can only answer "do I have
+        exactly this shard?"; the serving tier's pre-congestion policy
+        also needs "do I have *any* prior curation of this shard?" — a
+        byte-exact result of some earlier configuration is a better
+        overload answer than a 503.  The manifest already records each
+        entry's (city, ISP, seed, scale), so this scans it newest-access
+        first, optionally pinning ``seed``/``scale`` (pass both to
+        guarantee the stale payload covers the same address sample).
+        Returns ``(observations, meta)`` — callers compare
+        ``meta.config_digest`` against the current one to decide whether
+        the answer is actually stale — or None when nothing matches.
+        Corrupt candidates are dropped and the scan moves on.
+        """
+        with self._lock:
+            candidates = sorted(
+                (
+                    (row["access"], digest)
+                    for digest, row in self._manifest["entries"].items()
+                    if row.get("city") == city
+                    and row.get("isp") == isp
+                    and (seed is None or row.get("seed") == seed)
+                    and (scale is None or row.get("scale") == scale)
+                ),
+                reverse=True,
+            )
+            for _access, digest in candidates:
+                path = self._object_path(digest)
+                payload, corrupt = self._read_entry(path)
+                if payload is None:
+                    if corrupt:
+                        self._drop_entry(digest, path)
+                    continue
+                try:
+                    observations = tuple(
+                        observation_from_dict(row)
+                        for row in payload["observations"]
+                    )
+                except (KeyError, TypeError, ValueError):
+                    self._drop_entry(digest, path)
+                    continue
+                meta_row = payload.get("meta") or {}
+                meta = ShardMeta(
+                    city=str(meta_row.get("city", city)),
+                    isp=str(meta_row.get("isp", isp)),
+                    seed=int(meta_row.get("seed", 0)),
+                    scale=float(meta_row.get("scale", 0.0)),
+                    config_digest=str(meta_row.get("config_digest", "")),
+                )
+                self._touch(digest, payload, path)
+                return observations, meta
+        return None
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------

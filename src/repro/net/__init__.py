@@ -24,6 +24,7 @@ from .proxy import ResidentialProxyPool
 from .reliable import RELIABLE_MAGIC, ReliableEndpoint
 from .rpc import (
     RPC_RELIABLE_ENV,
+    RpcBusyError,
     RpcClient,
     RpcError,
     RpcRemoteError,
@@ -60,6 +61,7 @@ __all__ = [
     "encode_form",
     "LatencyModel",
     "ResidentialProxyPool",
+    "RpcBusyError",
     "RpcClient",
     "RpcError",
     "RpcRemoteError",

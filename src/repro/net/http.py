@@ -36,6 +36,7 @@ STATUS_REASONS: dict[int, str] = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 _CRLF = b"\r\n"

@@ -19,6 +19,13 @@ Error taxonomy — the split matters to the dispatcher:
   The remote caller cannot know whether the method ran; shard specs are
   idempotent pure functions, so the dispatcher re-queues the work on
   another worker.
+* :class:`RpcBusyError` (a retryable :class:`RpcError`): the server
+  *refused* the call at admission — its bounded in-flight queue
+  (``max_inflight``) is full and it answered 503 + ``Retry-After``
+  before running anything.  Provably not started, so resending is always
+  safe; the hint tells the caller when.  The dispatcher re-queues the
+  spec at the *back* of the queue and pauses the connection, instead of
+  hammering an overloaded worker head-of-line.
 * :class:`RpcRemoteError` (**not** a transport error): the connection is
   fine and the *handler* raised (or the method is unknown, or the
   payload malformed).  Deterministic — retrying elsewhere would fail
@@ -38,12 +45,13 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import threading
 import time
 from typing import Callable, Mapping
 
-from ..errors import ReproError, TransportError
+from ..errors import ConfigurationError, ReproError, TransportError
 from .faults import FaultProfile, FaultySocket, resolve_fault_profile
 from .http import HttpRequest, HttpResponse, frame_http_message
 from .reliable import RELIABLE_MAGIC, ReliableEndpoint
@@ -51,11 +59,13 @@ from .tcp import shutdown_and_close
 
 __all__ = [
     "RPC_RELIABLE_ENV",
+    "RpcBusyError",
     "RpcClient",
     "RpcError",
     "RpcRemoteError",
     "RpcServer",
     "default_rpc_reliable",
+    "retry_after_hint",
 ]
 
 _RECV_CHUNK = 65536
@@ -81,6 +91,36 @@ def default_rpc_reliable() -> bool:
 
 class RpcError(TransportError):
     """The RPC connection failed; the call may or may not have run."""
+
+
+class RpcBusyError(RpcError):
+    """The server refused the call at admission: its queue is full.
+
+    Retryable by construction — a 503 busy reply is sent *before* the
+    handler runs, so the call provably never started.  Distinct from the
+    generic :class:`RpcError` so dispatchers back off (re-queue at the
+    back, pause for :attr:`retry_after`) instead of treating a saturated
+    worker like a dead one and hammering it from the queue front.
+
+    Attributes:
+        method: RPC method name that was refused.
+        status: HTTP status of the refusal (503, or 429 when rate-limited).
+        retry_after: Server's ``Retry-After`` hint, seconds (None when the
+            reply carried none).  :func:`repro.core.retry.retry_with_backoff`
+            floors its pause at this value.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        status: int,
+        message: str,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(f"rpc {method!r} refused with {status}: {message}")
+        self.method = method
+        self.status = status
+        self.retry_after = retry_after
 
 
 class RpcRemoteError(ReproError):
@@ -109,6 +149,12 @@ class RpcServer:
             every spec builds fresh per-shard state).
         host: Interface to bind (loopback by default).
         port: Port to bind (0 = let the OS pick; read :attr:`address`).
+        max_inflight: Bounded admission queue: at most this many handler
+            invocations run at once; excess calls are refused *before*
+            dispatch with ``503`` + ``Retry-After`` (surfaced client-side
+            as the retryable :class:`RpcBusyError`).  None (the default)
+            keeps the historical unbounded behaviour.
+        busy_retry_after: ``Retry-After`` hint on busy refusals, seconds.
 
     Usage::
 
@@ -124,9 +170,23 @@ class RpcServer:
         host: str = "127.0.0.1",
         port: int = 0,
         fault_profile: FaultProfile | str | None = None,
+        max_inflight: int | None = None,
+        busy_retry_after: float = 0.1,
     ) -> None:
         self._handlers = dict(handlers)
         self._fault_profile = resolve_fault_profile(fault_profile)
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1: {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.busy_retry_after = float(busy_retry_after)
+        self._inflight = (
+            threading.BoundedSemaphore(max_inflight)
+            if max_inflight is not None
+            else None
+        )
+        self.busy_refusals = 0  # observability: how often admission said no
         self._conn_count = 0
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -276,12 +336,32 @@ class RpcServer:
             return _json_response(400, {"error": f"malformed payload: {exc}"})
         if not isinstance(payload, dict):
             return _json_response(400, {"error": "payload must be an object"})
+        if self._inflight is not None and not self._inflight.acquire(
+            blocking=False
+        ):
+            # Refused *before* the handler runs: the caller knows the
+            # call never started and may safely resend after the hint.
+            self.busy_refusals += 1
+            response = _json_response(
+                503,
+                {
+                    "error": (
+                        f"server busy: {self.max_inflight} calls in flight"
+                    ),
+                    "retry_after": self.busy_retry_after,
+                },
+            )
+            response.set_header("Retry-After", f"{self.busy_retry_after:g}")
+            return response
         try:
             result = handler(payload)
         except Exception as exc:  # noqa: BLE001 - serialized to the peer
             return _json_response(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
+        finally:
+            if self._inflight is not None:
+                self._inflight.release()
         return _json_response(200, result if result is not None else {})
 
 
@@ -375,6 +455,10 @@ class RpcClient:
         self._endpoint: ReliableEndpoint | None = None
         self._buffer = b""
         self._used = False  # has the current socket served a call already?
+        # Jitter source for the retry backoff: seeded per client so runs
+        # replay identically (sleep lengths never feed the fault streams,
+        # which are keyed on the dial counter alone).
+        self._retry_rng = random.Random(self.address[1] or 1)
 
     def close(self) -> None:
         if self._sock is not None:
@@ -464,28 +548,48 @@ class RpcClient:
         exactly once, as always.  An active fault profile makes injected
         request loss routine, so the retry budget widens to
         ``fault_retries``; every retry redials, so a dead server still
-        fails fast in ``_connect``.
+        fails fast in ``_connect``.  Retries pause on the shared jittered
+        schedule (:func:`repro.core.retry.retry_with_backoff`) so a fleet
+        of clients re-sending into one flaky server never synchronizes.
         """
+        # Imported here, not at module top: repro.core layers *above*
+        # repro.net (core imports net throughout), so net pulling core in
+        # at import time would be an upward dependency for every net user.
+        from ..core.retry import BackoffPolicy, retry_with_backoff
+
         reused = self._used
         retries = 1 if reused else 0
         if self._fault_profile is not None:
             retries = max(retries, self.fault_retries)
-        try:
-            raw = self._roundtrip(wire)
-            while raw is None and retries > 0:
-                retries -= 1
-                self.close()
+
+        def once() -> bytes:
+            if self._sock is None:
                 self._connect()
-                raw = self._roundtrip(wire)
+            raw = self._roundtrip(wire)
+            if raw is None:
+                self.close()  # the next attempt redials
+                raise _UnstartedError(
+                    f"no response from {self.address[0]}:{self.address[1]}"
+                )
+            return raw
+
+        try:
+            return retry_with_backoff(
+                once,
+                attempts=retries + 1,
+                policy=BackoffPolicy(
+                    base_delay=0.01, multiplier=2.0, max_delay=0.25
+                ),
+                retryable=(_UnstartedError,),
+                rng=self._retry_rng,
+            )
+        except _UnstartedError as exc:
+            # Budget exhausted on provably-unstarted sends: surface the
+            # plain public type, exactly as before the backoff migration.
+            raise RpcError(str(exc)) from exc
         except RpcError:
             self.close()
             raise
-        if raw is None:
-            self.close()
-            raise RpcError(
-                f"no response from {self.address[0]}:{self.address[1]}"
-            )
-        return raw
 
     def _exchange_reliable(self, wire: bytes) -> bytes:
         """One exchange over the Go-Back-N channel.
@@ -562,9 +666,42 @@ class RpcClient:
             raise RpcError(f"unparseable rpc response: {exc}") from exc
         if response.header("Connection") == "close":
             self.close()
+        if response.status in (429, 503):
+            # An admission refusal, not a handler failure: the server
+            # answered before running anything, so the call is safely
+            # retryable — after the server's own hint.
+            error = result.get("error", "") if isinstance(result, dict) else ""
+            raise RpcBusyError(
+                method,
+                response.status,
+                str(error),
+                retry_after=retry_after_hint(response, result),
+            )
         if response.status != 200:
             error = result.get("error", "") if isinstance(result, dict) else ""
             raise RpcRemoteError(method, response.status, str(error))
         if not isinstance(result, dict):
             raise RpcRemoteError(method, 200, "result is not a JSON object")
         return result
+
+
+class _UnstartedError(RpcError):
+    """Internal: a roundtrip provably failed before the server started it."""
+
+
+def retry_after_hint(
+    response: HttpResponse, result: object = None
+) -> float | None:
+    """Parse a reply's ``Retry-After`` hint (header first, JSON fallback)."""
+    header = response.header("Retry-After")
+    if header:
+        try:
+            return float(header)
+        except ValueError:
+            pass
+    if isinstance(result, dict):
+        try:
+            return float(result["retry_after"])
+        except (KeyError, TypeError, ValueError):
+            pass
+    return None

@@ -1,0 +1,332 @@
+"""The asyncio HTTP shell of the serving tier.
+
+:class:`DatasetServeServer` follows the
+:class:`~repro.net.aio.AsyncTcpBatServer` idiom to the letter: one event
+loop hosted on a daemon thread, per-connection coroutines running the
+shared sans-I/O :func:`~repro.net.http.frame_http_message` framing loop
+with keep-alive, ``start()``/``stop()``/context-manager sync facade, and
+the same fault-injection seam (``profile.injector("server", ...)`` +
+``_faulty_write``) so the serving endpoint runs under exactly the chaos
+profiles every other endpoint does.
+
+The admission split is the load-shedding mechanism: the cheap sans-I/O
+admission verdict runs *on the event-loop thread*, so a refused request
+is answered in microseconds without ever touching the worker pool — the
+tier's refusal capacity stays high precisely when its service capacity is
+exhausted.  Only admitted queries are handed to a bounded thread pool
+(sized ``width + queue_depth``, matching the admission controller's
+in-flight bound) via ``run_in_executor``.
+
+Routes::
+
+    GET /healthz                          liveness + congestion state
+    GET /stats                            admission/cache/serve counters
+    GET /query?city=C&isp=I[&class=K]     one (city, ISP) shard
+             [&deadline_ms=N][&force=1]
+
+Response headers: ``X-Repro-Congestion`` (always: clear / precongestion /
+overload), ``X-Repro-Source`` (cache / stale / executed) on 200s,
+``Retry-After`` on 429/503 refusals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import TransportError
+from ..net.aio import _faulty_write
+from ..net.faults import FaultProfile, resolve_fault_profile
+from ..net.http import HttpRequest, HttpResponse, frame_http_message
+from .admission import Deadline
+from .service import ServeResult, ServeService
+
+__all__ = ["DatasetServeServer"]
+
+_RECV_CHUNK = 65536
+
+
+def _json_response(status: int, payload: dict) -> HttpResponse:
+    response = HttpResponse(
+        status=status,
+        body=json.dumps(payload).encode("utf-8"),
+    )
+    response.set_header("Content-Type", "application/json")
+    return response
+
+
+class DatasetServeServer:
+    """The ``python -m repro.dataset serve`` HTTP endpoint.
+
+    Args:
+        service: The :class:`~repro.serve.service.ServeService` doing the
+            actual work.
+        host / port: Bind address (port 0 picks a free port; read it back
+            from :attr:`address` after :meth:`start`).
+        default_deadline_ms: Deadline applied to queries that do not pass
+            ``deadline_ms`` themselves (None = no default deadline).
+        fault_profile: Explicit fault profile / spec string; None falls
+            back to ``REPRO_FAULT_PROFILE`` (the shared resolution rule).
+    """
+
+    def __init__(
+        self,
+        service: ServeService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_deadline_ms: float | None = None,
+        fault_profile: FaultProfile | str | None = None,
+    ) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self.default_deadline_ms = default_deadline_ms
+        self._fault_profile = resolve_fault_profile(fault_profile)
+        self._conn_count = 0
+        self._address: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._startup_error: BaseException | None = None
+        # The pool is the admitted-work lane; its size matches the
+        # admission controller's in-flight bound so an admitted request
+        # always has a thread to queue on (admission, not the pool, is
+        # what bounds the line).
+        admission = service.admission
+        if admission is not None:
+            pool_size = admission.config.width + admission.config.queue_depth
+        else:
+            pool_size = max(4, int(getattr(service.executor, "width", 1)) * 2)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, pool_size), thread_name_prefix="serve-query"
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise TransportError("serve server not started")
+        return self._address
+
+    # ------------------------------------------------------------------
+    # Sync facade (mirrors AsyncTcpBatServer)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._ready.clear()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise TransportError("serve server failed to start")
+        if self._startup_error is not None:
+            raise TransportError(
+                f"serve server failed to start: {self._startup_error}"
+            )
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self.service.close()
+
+    def __enter__(self) -> "DatasetServeServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._startup_error = exc
+            self._ready.set()
+
+    # ------------------------------------------------------------------
+    # Event-loop side
+    # ------------------------------------------------------------------
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+        self._address = server.sockets[0].getsockname()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._tasks):
+                task.cancel()
+            if self._tasks:
+                await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        profile = self._fault_profile
+        injector = None
+        if profile is not None and profile.server.any:
+            self._conn_count += 1
+            injector = profile.injector("server", "serve", self._conn_count)
+        buffer = b""
+        while True:
+            try:
+                framed = frame_http_message(buffer)
+                while framed is None:
+                    chunk = await reader.read(_RECV_CHUNK)
+                    if not chunk:
+                        return
+                    buffer += chunk
+                    framed = frame_http_message(buffer)
+                raw, buffer = framed
+                request = HttpRequest.from_bytes(raw)
+                client = request.header("X-Forwarded-For") or str(peer[0])
+                response = await self._respond(request, client)
+                keep_alive = (
+                    (request.header("Connection") or "").lower() == "keep-alive"
+                )
+                response.set_header(
+                    "Connection", "keep-alive" if keep_alive else "close"
+                )
+                if injector is not None:
+                    if not await _faulty_write(
+                        writer, response.to_bytes(), injector
+                    ):
+                        return  # response torn away; connection is gone
+                else:
+                    writer.write(response.to_bytes())
+                    await writer.drain()
+                if not keep_alive:
+                    return
+            except (TransportError, ValueError) as exc:
+                error = _json_response(400, {"error": f"bad request: {exc}"})
+                error.set_header("Connection", "close")
+                try:
+                    writer.write(error.to_bytes())
+                    await writer.drain()
+                except OSError:
+                    pass
+                return
+            except (OSError, ConnectionError):
+                return
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _respond(self, request: HttpRequest, client: str) -> HttpResponse:
+        parts = urlsplit(request.path)
+        route = parts.path
+        params = {
+            name: values[-1]
+            for name, values in parse_qs(parts.query, keep_blank_values=True).items()
+        }
+        now = self.service.clock.now()
+        if request.method != "GET":
+            return _json_response(405, {"error": "only GET is served"})
+        if route == "/healthz":
+            # Health bypasses rate limits by class, but still flows
+            # through decide() so the decision counters stay honest.
+            decision = self.service.admit(client, "", "health", now)
+            payload = self.service.healthz(now)
+            response = _json_response(200, payload)
+            response.set_header("X-Repro-Congestion", decision.state)
+            return response
+        if route == "/stats":
+            payload = self.service.stats(now)
+            response = _json_response(200, payload)
+            response.set_header(
+                "X-Repro-Congestion", payload.get("admission", {}).get("state", "clear")
+            )
+            return response
+        if route == "/query":
+            return await self._query(params, client, now)
+        return _json_response(404, {"error": f"no route {route!r}"})
+
+    async def _query(
+        self, params: dict[str, str], client: str, now: float
+    ) -> HttpResponse:
+        city = params.get("city", "")
+        isp = params.get("isp", "")
+        if not city or not isp:
+            return _json_response(
+                400, {"error": "query needs city= and isp= parameters"}
+            )
+        klass = params.get("class", "interactive")
+        force = params.get("force", "") in ("1", "true", "yes")
+
+        decision = self.service.admit(client, isp, klass, now)
+        if not decision.admitted:
+            response = _json_response(
+                decision.status,
+                {"error": decision.reason, "state": decision.state},
+            )
+            response.set_header("X-Repro-Congestion", decision.state)
+            if decision.retry_after is not None:
+                response.set_header("Retry-After", f"{decision.retry_after:g}")
+            return response
+
+        deadline: Deadline | None = None
+        raw_deadline = params.get("deadline_ms")
+        budget_ms: float | None = None
+        if raw_deadline is not None:
+            try:
+                budget_ms = float(raw_deadline)
+            except ValueError:
+                return _json_response(
+                    400, {"error": f"bad deadline_ms: {raw_deadline!r}"}
+                )
+        elif self.default_deadline_ms is not None:
+            budget_ms = self.default_deadline_ms
+        # The no-admission baseline deliberately ignores deadlines too —
+        # it is the "hope for the best" tier the benchmark compares
+        # against, so it gets no graceful-degradation machinery at all.
+        if budget_ms is not None and self.service.admission is not None:
+            deadline = Deadline.after(now, budget_ms / 1000.0)
+
+        loop = asyncio.get_running_loop()
+        result: ServeResult = await loop.run_in_executor(
+            self._pool,
+            lambda: self.service.handle(
+                city, isp, decision, deadline=deadline, force=force
+            ),
+        )
+        response = _json_response(result.status, result.body)
+        response.set_header("X-Repro-Congestion", result.state)
+        if result.source:
+            response.set_header("X-Repro-Source", result.source)
+        if result.retry_after is not None:
+            response.set_header("Retry-After", f"{result.retry_after:g}")
+        return response

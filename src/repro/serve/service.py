@@ -1,0 +1,443 @@
+"""The query service: admission → two-tier cache → deadline-aware curation.
+
+:class:`ServeService` is the serving tier's business logic, shared by the
+asyncio HTTP shell and by in-process tests.  One instance owns a built
+world, a curation configuration, the two-tier
+:class:`~repro.exec.cache.QueryResultCache`, and an executor backend;
+each query resolves one (city, ISP) shard through the same
+content-addressed path the batch curation pipeline uses, so a served
+payload's digest is byte-identical to the serial curation run's.
+
+The split with the HTTP shell matters for the bounded queue: the cheap
+sans-I/O :meth:`ServeService.admit` runs on the event-loop thread *before*
+work enters the thread pool, so the in-flight bound is enforced at the
+door — a refused request never occupies a pool slot.  The heavy
+:meth:`ServeService.handle` then runs on a pool thread and pairs the
+admission accounting in a ``finally``.
+
+Degradation ladder on a cache miss (what the admission
+:class:`~repro.serve.admission.Decision` selects):
+
+* **clear** — re-curate the shard (waves of chunk specs, deadline checked
+  between waves).
+* **precongestion** (``stale_first``) — serve the newest stale disk shard
+  for the (city, ISP) if one exists, else re-curate.
+* **overload** (``refuse_miss``) — stale or 503; no new curation work.
+
+A :class:`~repro.serve.admission.CircuitBreaker` guards the executor
+fallthrough: transport failures (a dead remote backend) trip it open, and
+while open every miss degrades straight to stale-or-503 instead of
+queueing on a backend that is down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+
+from ..dataset.curation import (
+    CurationConfig,
+    _shard_tasks,
+    curation_base_digest,
+    shard_config_digest,
+)
+from ..errors import TransportError, UnknownCityError
+from ..exec.cache import QueryResultCache, shard_cache_keys
+from ..exec.schedule import chunk_spans
+from ..exec.spec import ShardSpec, release_city_worlds, seed_city_worlds
+from ..exec.store import ShardMeta, observation_to_dict
+from ..net.clock import Clock, RealClock
+from .admission import AdmissionController, CircuitBreaker, Deadline, Decision
+
+__all__ = ["ServeResult", "ServeService", "shard_payload_digest"]
+
+
+def shard_payload_digest(observations) -> str:
+    """Digest of a served shard payload: sha256 over canonical JSON rows.
+
+    Built from the same :func:`~repro.exec.store.observation_to_dict`
+    rows the disk store and the coordinator/worker wire format carry, in
+    observation order — so a digest computed over a serial curation run's
+    shard equals the digest of the served payload byte for byte.  This is
+    the serving tier's correctness oracle.
+    """
+    canonical = json.dumps(
+        [observation_to_dict(obs) for obs in observations],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class _ShardInfo:
+    """Memoized identity of one (city, ISP) shard."""
+
+    digest: str
+    tasks: tuple
+    keys: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One query's outcome, transport-agnostic.
+
+    The HTTP shell maps this onto a response: ``status`` + JSON ``body``,
+    ``state`` into ``X-Repro-Congestion``, ``source`` into
+    ``X-Repro-Source``, ``retry_after`` into ``Retry-After``.
+    """
+
+    status: int
+    body: dict = field(default_factory=dict)
+    state: str = "clear"
+    source: str = ""
+    retry_after: float | None = None
+
+
+class ServeService:
+    """Business logic of the serving tier (thread-safe).
+
+    Args:
+        world: A built :class:`~repro.world.World`.
+        config: Curation knobs; must match the batch run whose digests
+            the served payloads are compared against.
+        cache: The two-tier result cache (memory + optional disk store).
+        executor: Any :class:`~repro.exec.base.Executor`; cache misses
+            re-curate through ``map_specs`` exactly like the pipeline.
+        admission: The admission controller, or None for the
+            no-admission baseline (everything admitted, nothing shed).
+        breaker: Circuit breaker around the executor fallthrough.
+        clock: Injectable time source (tests pass a
+            :class:`~repro.net.clock.VirtualClock`).
+        chunk_tasks: Task cap per dispatch chunk.  None sizes chunks so
+            one wave fills the executor width; smaller values buy finer
+            deadline-check granularity between waves.
+    """
+
+    def __init__(
+        self,
+        world,
+        config: CurationConfig,
+        cache: QueryResultCache,
+        executor,
+        admission: AdmissionController | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock: Clock | None = None,
+        chunk_tasks: int | None = None,
+    ) -> None:
+        self.world = world
+        self.config = config
+        self.cache = cache
+        self.executor = executor
+        self.admission = admission
+        self.breaker = breaker or CircuitBreaker()
+        self.clock: Clock = clock or RealClock()
+        self.chunk_tasks = chunk_tasks
+        self._base_digest = curation_base_digest(world.config, config)
+        self._shards: dict[tuple[str, str], _ShardInfo] = {}
+        self._seeded: set[tuple] = set()
+        self._lock = threading.Lock()
+        self._breaker_lock = threading.Lock()
+        # Served-query counters by outcome (the /stats payload).
+        self.served = {"cache": 0, "stale": 0, "executed": 0}
+        self.deadline_exceeded = 0
+
+    # ------------------------------------------------------------------
+    # Admission (cheap; the shell calls this on the event-loop thread)
+    # ------------------------------------------------------------------
+    def admit(self, client: str, isp: str, klass: str, now: float) -> Decision:
+        """Admission verdict — permissive when running without admission."""
+        if self.admission is None:
+            return Decision(admitted=True, state="clear", reason="no-admission")
+        return self.admission.decide(client, isp, klass, now)
+
+    # ------------------------------------------------------------------
+    # The query path (heavy; runs on a pool thread)
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        city: str,
+        isp: str,
+        decision: Decision,
+        deadline: Deadline | None = None,
+        force: bool = False,
+    ) -> ServeResult:
+        """Resolve one admitted (city, ISP) query to a result.
+
+        ``force`` skips the cache lookup (the load benches use it to
+        generate genuine curation work).  Pairs the admission accounting:
+        when the decision was counted in-flight, exactly one ``finish``
+        happens here, carrying the observed service time plus whether the
+        request actually executed curation work — only executed costs
+        feed the EWMA miss-cost estimate; warm hits refund their unspent
+        admission charge instead.
+        """
+        started = self.clock.now()
+        result: ServeResult | None = None
+        try:
+            result = self._handle(city, isp, decision, deadline, force)
+            return result
+        finally:
+            if decision.counted and self.admission is not None:
+                # 504s spent their whole budget on real curation waves,
+                # so they count as executed cost; everything else that
+                # skipped the executor (hits, stale, refusals, errors)
+                # refunds its charge.
+                executed = result is not None and (
+                    result.source == "executed" or result.status == 504
+                )
+                self.admission.finish(
+                    self.clock.now() - started,
+                    self.clock.now(),
+                    charged=decision.charged,
+                    executed=executed,
+                )
+
+    def _handle(
+        self,
+        city: str,
+        isp: str,
+        decision: Decision,
+        deadline: Deadline | None,
+        force: bool,
+    ) -> ServeResult:
+        state = decision.state
+        try:
+            info = self._shard_info(city, isp)
+        except UnknownCityError:
+            return ServeResult(
+                404, {"error": f"unknown city: {city!r}"}, state=state
+            )
+        if info is None:
+            return ServeResult(
+                404,
+                {"error": f"isp {isp!r} not deployed in {city!r}"},
+                state=state,
+            )
+
+        if not force:
+            observations = self.cache.lookup_shard(info.keys)
+            if observations is not None:
+                self.served["cache"] += 1
+                return self._payload(
+                    city, isp, observations, source="cache", state=state
+                )
+
+        if decision.stale_first or decision.refuse_miss:
+            stale = self._stale(city, isp, info)
+            if stale is not None:
+                self.served["stale"] += 1
+                return self._payload(
+                    city, isp, stale, source="stale", state=state
+                )
+            if decision.refuse_miss:
+                return ServeResult(
+                    503,
+                    {"error": "overloaded and no stale shard available"},
+                    state=state,
+                    retry_after=self._retry_hint(),
+                )
+
+        return self._execute(city, isp, info, state, deadline)
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+    def healthz(self, now: float) -> dict:
+        state = (
+            "clear" if self.admission is None else self.admission.state(now)
+        )
+        return {"ok": True, "state": state, "breaker": self.breaker.state}
+
+    def stats(self, now: float) -> dict:
+        payload = {
+            "served": dict(self.served),
+            "deadline_exceeded": self.deadline_exceeded,
+            "breaker": self.breaker.state,
+            "cache": {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "shard_hits": self.cache.stats.shard_hits,
+                "disk_shard_hits": self.cache.stats.disk_shard_hits,
+            },
+        }
+        if self.admission is not None:
+            payload["admission"] = self.admission.snapshot(now)
+        return payload
+
+    def close(self) -> None:
+        """Release the memoized city worlds this service seeded."""
+        with self._lock:
+            seeded, self._seeded = self._seeded, set()
+        release_city_worlds(seeded)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _shard_info(self, city: str, isp: str) -> _ShardInfo | None:
+        """Memoized (digest, tasks, keys) of a shard; None = unknown ISP.
+
+        Raises UnknownCityError for an unknown city.  Also seeds the city
+        world into the spec-runner memo so every chunk spec rehydrates
+        instantly instead of rebuilding the city per dispatch.
+        """
+        key = (city, isp)
+        with self._lock:
+            cached = self._shards.get(key)
+        if cached is not None:
+            return cached
+        city_world = self.world.city(city)  # raises UnknownCityError
+        if isp not in city_world.info.isps:
+            return None
+        digest = shard_config_digest(
+            self.world.config, self.config, city, isp, base=self._base_digest
+        )
+        tasks = _shard_tasks(
+            city_world, isp, self.config.sampling, self.world.seed
+        )
+        keys = shard_cache_keys(
+            isp, tasks, self.world.seed, self.world.config.scale, digest
+        )
+        info = _ShardInfo(digest=digest, tasks=tuple(tasks), keys=keys)
+        with self._lock:
+            self._shards[key] = info
+            seed_key = (self.world.config, city)
+            if seed_key not in self._seeded:
+                seed_city_worlds({seed_key: city_world})
+                self._seeded.add(seed_key)
+        return info
+
+    def _stale(self, city: str, isp: str, info: _ShardInfo):
+        """Newest disk shard for (city, ISP) under this seed/scale, any digest."""
+        store = self.cache.store
+        if store is None:
+            return None
+        found = store.find_stale(
+            city, isp, seed=self.world.seed, scale=self.world.config.scale
+        )
+        if found is None:
+            return None
+        observations, _meta = found
+        return observations
+
+    def _execute(
+        self,
+        city: str,
+        isp: str,
+        info: _ShardInfo,
+        state: str,
+        deadline: Deadline | None,
+    ) -> ServeResult:
+        """Re-curate the shard in deadline-checked waves of chunk specs."""
+        with self._breaker_lock:
+            allowed = self.breaker.allow(self.clock.now())
+        if not allowed:
+            stale = self._stale(city, isp, info)
+            if stale is not None:
+                self.served["stale"] += 1
+                return self._payload(
+                    city, isp, stale, source="stale", state=state
+                )
+            return ServeResult(
+                503,
+                {"error": "curation backend unavailable (circuit open)"},
+                state=state,
+                retry_after=self.breaker.reset_after_s,
+            )
+
+        n_tasks = len(info.tasks)
+        width = max(1, int(getattr(self.executor, "width", 1)))
+        cap = self.chunk_tasks or max(1, -(-n_tasks // width))
+        spans = chunk_spans(n_tasks, cap)
+        specs = [
+            ShardSpec(
+                world=self.world.config,
+                city=city,
+                isp=isp,
+                config=self.config,
+                start=start,
+                stop=stop,
+                config_digest=info.digest,
+                tasks=info.tasks[start:stop],
+            )
+            for start, stop in spans
+        ]
+
+        merged: list = []
+        try:
+            # Waves of at most ``width`` chunks, deadline checked between
+            # waves: cooperative cancellation at chunk granularity.  An
+            # abandoned request discards its partial chunks — each chunk
+            # replays exactly its span, so nothing half-done can poison
+            # the cache.
+            for wave_start in range(0, len(specs), width):
+                if deadline is not None and deadline.expired(self.clock.now()):
+                    self.deadline_exceeded += 1
+                    return ServeResult(
+                        504,
+                        {
+                            "error": "deadline exceeded before completion",
+                            "completed_chunks": wave_start,
+                            "total_chunks": len(specs),
+                        },
+                        state=state,
+                    )
+                wave = specs[wave_start : wave_start + width]
+                for observations, _wall in self.executor.map_specs(wave):
+                    merged.extend(observations)
+        except (TransportError, OSError) as exc:
+            with self._breaker_lock:
+                self.breaker.record_failure(self.clock.now())
+            stale = self._stale(city, isp, info)
+            if stale is not None:
+                self.served["stale"] += 1
+                return self._payload(
+                    city, isp, stale, source="stale", state=state
+                )
+            return ServeResult(
+                503,
+                {"error": f"curation backend failed: {exc}"},
+                state=state,
+                retry_after=self._retry_hint(),
+            )
+
+        with self._breaker_lock:
+            self.breaker.record_success()
+        observations = tuple(merged)
+        self.cache.store_shard(
+            info.keys,
+            observations,
+            meta=ShardMeta(
+                city=city,
+                isp=isp,
+                seed=self.world.seed,
+                scale=self.world.config.scale,
+                config_digest=info.digest,
+            ),
+        )
+        self.served["executed"] += 1
+        return self._payload(
+            city, isp, observations, source="executed", state=state
+        )
+
+    def _payload(
+        self, city: str, isp: str, observations, source: str, state: str
+    ) -> ServeResult:
+        body = {
+            "city": city,
+            "isp": isp,
+            "n_observations": len(observations),
+            "digest": shard_payload_digest(observations),
+            "source": source,
+            "observations": [
+                observation_to_dict(obs) for obs in observations
+            ],
+        }
+        return ServeResult(200, body, state=state, source=source)
+
+    def _retry_hint(self) -> float:
+        if self.admission is not None:
+            return max(self.admission.config.est_cost_s, 0.05)
+        return 0.05

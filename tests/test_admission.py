@@ -1,0 +1,348 @@
+"""Fake-clock unit tests for the sans-I/O admission core.
+
+Every test drives :mod:`repro.serve.admission` with explicit ``now``
+floats — zero real sleeps, every congestion transition deterministic.
+This is the same testing contract the fleet membership state machine
+honours: if a behaviour needs a wall clock to observe, the state machine
+is wrong, not the test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import (
+    ADMISSION_STATES,
+    REQUEST_CLASSES,
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    TokenBucket,
+    VirtualQueue,
+)
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refusal_with_wait_hint(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=0.0)
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) == 0.0
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) > 0.0
+        assert bucket.try_take(0.5) == 0.0  # one token back after 0.5s
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0, now=0.0)
+        # A long idle period must not bank more than the burst.
+        assert bucket.try_take(1000.0) == 0.0
+        assert bucket.try_take(1000.0) == 0.0
+        assert bucket.try_take(1000.0) > 0.0
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, now=10.0)
+        assert bucket.try_take(10.0) == 0.0
+        # An earlier timestamp (clock skew between callers) must not
+        # corrupt the refill accounting.
+        assert bucket.try_take(5.0) > 0.0
+        assert bucket.try_take(11.0) == 0.0
+
+    def test_validates_configuration(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=-1.0)
+
+
+# ----------------------------------------------------------------------
+# VirtualQueue
+# ----------------------------------------------------------------------
+class TestVirtualQueue:
+    def test_backlog_accumulates_and_drains(self):
+        vq = VirtualQueue(drain_rate=2.0, now=0.0)
+        vq.observe(4.0, now=0.0)  # 4s of work, virtual server does 2/s
+        assert vq.backlog_delay(0.0) == pytest.approx(2.0)
+        assert vq.backlog_delay(1.0) == pytest.approx(1.0)
+        assert vq.backlog_delay(10.0) == 0.0
+
+    def test_virtual_queue_marks_before_real_saturation(self):
+        # The PCN property in miniature: offered load below real capacity
+        # but above theta*capacity grows the *virtual* backlog without
+        # bound — the early-warning margin is exactly (1 - theta).
+        real_capacity = 1.0  # 1s of work per second
+        theta = 0.5
+        vq = VirtualQueue(drain_rate=theta * real_capacity, now=0.0)
+        now = 0.0
+        for _ in range(20):  # 0.8s of work arriving per second: real ok
+            vq.observe(0.8, now=now)
+            now += 1.0
+        assert vq.backlog_delay(now) > 5.0  # virtual queue screams
+
+    def test_refund_takes_back_phantom_work(self):
+        vq = VirtualQueue(drain_rate=1.0, now=0.0)
+        vq.observe(2.0, now=0.0)
+        vq.refund(1.5, now=0.0)
+        assert vq.backlog_delay(0.0) == pytest.approx(0.5)
+
+    def test_refund_never_goes_negative(self):
+        vq = VirtualQueue(drain_rate=1.0, now=0.0)
+        vq.observe(0.5, now=0.0)
+        vq.refund(10.0, now=0.0)
+        assert vq.backlog_delay(0.0) == 0.0
+        vq.refund(-3.0, now=0.0)  # a negative refund must not add work
+        assert vq.backlog_delay(0.0) == 0.0
+
+    def test_validates_drain_rate(self):
+        with pytest.raises(ConfigurationError):
+            VirtualQueue(drain_rate=0.0)
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_after_and_remaining(self):
+        deadline = Deadline.after(100.0, 2.5)
+        assert deadline.remaining(100.0) == pytest.approx(2.5)
+        assert not deadline.expired(102.0)
+        assert deadline.expired(102.5)
+        assert deadline.remaining(103.0) < 0
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_probes_half_open(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=5.0)
+        assert breaker.state == "closed"
+        for _ in range(3):
+            assert breaker.allow(0.0)
+            breaker.record_failure(0.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(1.0)  # still inside the reset window
+        assert breaker.allow(5.0)  # the half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow(5.0)  # one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow(5.0)
+
+    def test_failed_probe_reopens_the_clock(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)  # probe
+        breaker.record_failure(10.0)
+        assert not breaker.allow(15.0)  # window restarts from the probe
+        assert breaker.allow(20.0)
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_after_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        assert breaker.state == "closed"  # never two in a row
+
+    def test_validates_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_after_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# AdmissionController: the policy matrix
+# ----------------------------------------------------------------------
+def _controller(**overrides) -> AdmissionController:
+    defaults = dict(
+        width=2,
+        queue_depth=2,
+        theta=0.5,
+        mark_delay_s=1.0,
+        shed_delay_s=4.0,
+        client_rate=100.0,
+        client_burst=50.0,
+        isp_rate=1000.0,
+        isp_burst=500.0,
+        est_cost_s=1.0,
+    )
+    defaults.update(overrides)
+    return AdmissionController(AdmissionConfig(**defaults))
+
+
+class TestAdmissionController:
+    def test_clear_admits_interactive_and_batch(self):
+        ctl = _controller()
+        for klass in ("interactive", "batch"):
+            decision = ctl.decide("c1", "alpha-fiber", klass, now=0.0)
+            assert decision.admitted and decision.state == "clear"
+            assert not decision.stale_first and not decision.refuse_miss
+            ctl.finish(0.1, now=0.0)
+
+    def test_health_bypasses_everything(self):
+        ctl = _controller(client_rate=1.0, client_burst=1.0)
+        ctl.decide("probe", "", "interactive", now=0.0)
+        ctl.finish(0.0, now=0.0)
+        # Bucket exhausted; health still sails through, uncounted.
+        for _ in range(10):
+            decision = ctl.decide("probe", "", "health", now=0.0)
+            assert decision.admitted and not decision.counted
+
+    def test_rate_limit_refuses_429_with_retry_after(self):
+        ctl = _controller(client_rate=1.0, client_burst=2.0)
+        assert ctl.decide("spammer", "isp", "interactive", 0.0).admitted
+        assert ctl.decide("spammer", "isp", "interactive", 0.0).admitted
+        refused = ctl.decide("spammer", "isp", "interactive", 0.0)
+        assert not refused.admitted
+        assert refused.status == 429
+        assert refused.retry_after and refused.retry_after > 0
+        assert ctl.rate_limited == 1
+        # A different client is unaffected.
+        assert ctl.decide("polite", "isp", "interactive", 0.0).admitted
+
+    def test_isp_bucket_is_shared_across_clients(self):
+        ctl = _controller(isp_rate=1.0, isp_burst=2.0)
+        assert ctl.decide("a", "hot-isp", "interactive", 0.0).admitted
+        assert ctl.decide("b", "hot-isp", "interactive", 0.0).admitted
+        refused = ctl.decide("c", "hot-isp", "interactive", 0.0)
+        assert not refused.admitted and refused.status == 429
+        # Another ISP still has tokens.
+        assert ctl.decide("c", "cool-isp", "interactive", 0.0).admitted
+
+    def test_congestion_ladder_clear_precongestion_overload(self):
+        ctl = _controller()  # drain 1.0/s virtual; est_cost 1.0
+        assert ctl.state(0.0) == "clear"
+        # Two admissions put 2s of estimated work in the virtual queue:
+        # backlog delay 2.0 > mark_delay 1.0 -> precongestion.
+        for client in ("a", "b"):
+            decision = ctl.decide(client, "isp", "interactive", now=0.0)
+            assert decision.admitted
+            ctl.finish(1.0, now=0.0)
+        assert ctl.state(0.0) == "precongestion"
+        # Three more exceed shed_delay 4.0 -> overload.
+        for client in ("c", "d", "e"):
+            ctl.decide(client, "isp", "interactive", now=0.0)
+            ctl.finish(1.0, now=0.0)
+        assert ctl.state(0.0) == "overload"
+        # Idle time drains the virtual queue back to clear.
+        assert ctl.state(3.0) == "precongestion"
+        assert ctl.state(10.0) == "clear"
+
+    def test_precongestion_sheds_batch_serves_interactive_stale_first(self):
+        ctl = _controller()
+        for client in ("a", "b"):
+            ctl.decide(client, "isp", "interactive", now=0.0)
+            ctl.finish(1.0, now=0.0)
+        assert ctl.state(0.0) == "precongestion"
+        shed = ctl.decide("c", "isp", "batch", now=0.0)
+        assert not shed.admitted and shed.status == 503
+        assert shed.retry_after and shed.retry_after > 0
+        assert ctl.shed == 1
+        interactive = ctl.decide("c", "isp", "interactive", now=0.0)
+        assert interactive.admitted
+        assert interactive.stale_first and not interactive.refuse_miss
+        ctl.finish(1.0, now=0.0)
+
+    def test_overload_refuses_misses_but_still_admits(self):
+        ctl = _controller()
+        for client in ("a", "b", "c", "d", "e"):
+            ctl.decide(client, "isp", "interactive", now=0.0)
+            ctl.finish(1.0, now=0.0)
+        assert ctl.state(0.0) == "overload"
+        decision = ctl.decide("f", "isp", "interactive", now=0.0)
+        assert decision.admitted  # warm cache hits must still be served
+        assert decision.stale_first and decision.refuse_miss
+        ctl.finish(0.0, now=0.0)
+
+    def test_bounded_queue_refuses_503(self):
+        ctl = _controller(width=1, queue_depth=1, est_cost_s=0.01)
+        assert ctl.decide("a", "isp", "interactive", 0.0).admitted
+        assert ctl.decide("b", "isp", "interactive", 0.0).admitted
+        refused = ctl.decide("c", "isp", "interactive", 0.0)
+        assert not refused.admitted and refused.status == 503
+        assert refused.reason == "queue-full"
+        assert refused.retry_after and refused.retry_after > 0
+        assert ctl.queue_refused == 1
+        # finish() frees a slot.
+        ctl.finish(0.01, now=0.0)
+        assert ctl.decide("c", "isp", "interactive", 0.0).admitted
+
+    def test_executed_finish_feeds_the_ewma_cost_estimate(self):
+        ctl = _controller(est_cost_s=1.0)
+        before = ctl.snapshot(0.0)["est_cost_s"]
+        decision = ctl.decide("a", "isp", "interactive", 0.0)
+        assert decision.counted
+        ctl.finish(0.2, now=0.0, charged=decision.charged, executed=True)
+        after = ctl.snapshot(0.0)["est_cost_s"]
+        assert after == pytest.approx(0.8 * before + 0.2 * 0.2)
+
+    def test_warm_hit_finish_refunds_instead_of_polluting_the_ewma(self):
+        # The estimate is the cost of a *miss*.  A tier serving mostly
+        # warm hits must not let their ~0s costs drag it toward zero —
+        # that is exactly how the controller ends up admitting a convoy
+        # of misses it has priced at nothing.
+        ctl = _controller(est_cost_s=1.0)
+        decision = ctl.decide("a", "isp", "interactive", 0.0)
+        assert decision.charged == pytest.approx(1.0)
+        backlog_charged = ctl.snapshot(0.0)["backlog_delay_s"]
+        assert backlog_charged > 0.0
+        ctl.finish(0.0, now=0.0, charged=decision.charged, executed=False)
+        snap = ctl.snapshot(0.0)
+        assert snap["est_cost_s"] == pytest.approx(1.0)  # EWMA untouched
+        assert snap["backlog_delay_s"] == 0.0  # charge fully refunded
+        assert snap["inflight"] == 0
+
+    def test_warm_hit_refund_is_net_of_observed_cost(self):
+        ctl = _controller(est_cost_s=1.0)
+        decision = ctl.decide("a", "isp", "interactive", 0.0)
+        # The hit still took 0.4s of real time (e.g. stale disk read):
+        # only the unspent portion of the charge comes back.
+        ctl.finish(0.4, now=0.0, charged=decision.charged, executed=False)
+        snap = ctl.snapshot(0.0)
+        # drain_rate = theta * width = 1.0 -> delay equals backlog.
+        assert snap["backlog_delay_s"] == pytest.approx(0.4)
+        assert snap["est_cost_s"] == pytest.approx(1.0)
+
+    def test_unknown_class_is_treated_as_interactive(self):
+        ctl = _controller()
+        decision = ctl.decide("a", "isp", "mystery", now=0.0)
+        assert decision.admitted
+        ctl.finish(0.1, now=0.0)
+
+    def test_client_bucket_lru_is_bounded(self):
+        ctl = _controller(max_clients=4)
+        for i in range(32):
+            ctl.decide(f"client-{i}", "isp", "interactive", now=float(i))
+            ctl.finish(0.0, now=float(i))
+        assert len(ctl._clients) <= 4
+
+    def test_snapshot_shape(self):
+        ctl = _controller()
+        snap = ctl.snapshot(0.0)
+        assert snap["state"] in ADMISSION_STATES
+        for key in ("backlog_delay_s", "inflight", "est_cost_s",
+                    "admitted", "rate_limited", "shed", "queue_refused"):
+            assert key in snap
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(theta=1.5)
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(mark_delay_s=2.0, shed_delay_s=1.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(width=0)
+
+
+def test_module_constants():
+    assert ADMISSION_STATES == ("clear", "precongestion", "overload")
+    assert set(REQUEST_CLASSES) == {"interactive", "batch", "health"}

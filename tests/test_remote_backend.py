@@ -451,3 +451,27 @@ class TestCacheLsCli:
         )
         assert result.returncode != 0
         assert "no store at" in result.stderr
+
+
+class TestBusyWorkerBackoff:
+    """A worker refusing calls beyond ``--max-inflight`` answers 503 +
+    Retry-After; the dispatcher must back off and re-queue the refused
+    spec at the *back* of the line — not hammer the front — and the run
+    must still complete with byte-identical results."""
+
+    def test_overcommitted_worker_completes_via_backoff(self):
+        reference = {
+            isp: run_shard_spec(_spec(isp))[0] for isp in ("cox", "att")
+        }
+        # width 2 advertised, but only 1 call admitted at a time: the
+        # coordinator's second dispatch thread is guaranteed to hit the
+        # busy refusal whenever both are in flight.
+        with local_worker_pool(
+            count=1, width=2, extra_args=("--max-inflight", "1")
+        ) as addresses:
+            executor = DistributedExecutor(workers=addresses)
+            specs = [_spec("cox"), _spec("att"), _spec("cox"), _spec("att")]
+            outcomes = executor.map_specs(specs)
+        assert len(outcomes) == len(specs)
+        for spec, (observations, _wall) in zip(specs, outcomes):
+            assert observations == reference[spec.isp]

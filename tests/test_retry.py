@@ -1,0 +1,150 @@
+"""Tests for the shared backoff helper (``repro.core.retry``).
+
+All schedule behaviour is observed on a :class:`VirtualClock` — the
+whole point of the injectable clock/rng is that these tests sleep zero
+real seconds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.retry import BackoffPolicy, retry_with_backoff
+from repro.errors import ConfigurationError, TransportError
+from repro.net.clock import VirtualClock
+
+
+class _Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures: int, value: object = "ok",
+                 exc: type[BaseException] = TransportError) -> None:
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom {self.calls}")
+        return self.value
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_capped(self):
+        policy = BackoffPolicy(base_delay=0.1, multiplier=2.0,
+                               max_delay=0.5, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(10) == pytest.approx(0.5)
+
+    def test_jitter_only_shrinks_the_pause(self):
+        policy = BackoffPolicy(base_delay=1.0, multiplier=1.0,
+                               max_delay=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(20):
+            pause = policy.delay(attempt, rng=rng)
+            assert 0.5 <= pause <= 1.0
+
+    def test_retry_after_floors_the_pause_uncapped(self):
+        policy = BackoffPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        # Hint longer than the cap wins: the server knows best.
+        assert policy.delay(0, retry_after=3.0) == pytest.approx(3.0)
+        # Hint shorter than the schedule does not shorten it.
+        assert policy.delay(3, retry_after=0.01) == pytest.approx(0.5)
+
+    def test_validates_configuration(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base_delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(max_delay=0.01, base_delay=0.1)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(jitter=1.5)
+
+
+class TestRetryWithBackoff:
+    def test_returns_value_after_retries_with_virtual_pauses(self):
+        clock = VirtualClock()
+        flaky = _Flaky(failures=2, value=42)
+        result = retry_with_backoff(
+            flaky, attempts=3,
+            policy=BackoffPolicy(base_delay=0.1, multiplier=2.0,
+                                 max_delay=1.0, jitter=0.0),
+            clock=clock,
+        )
+        assert result == 42
+        assert flaky.calls == 3
+        assert clock.now() == pytest.approx(0.1 + 0.2)  # two pauses, 0 real s
+
+    def test_exhausted_attempts_raise_the_last_failure(self):
+        clock = VirtualClock()
+        flaky = _Flaky(failures=10)
+        with pytest.raises(TransportError, match="boom 3"):
+            retry_with_backoff(flaky, attempts=3, clock=clock,
+                               policy=BackoffPolicy(jitter=0.0))
+        assert flaky.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        flaky = _Flaky(failures=5, exc=ValueError)
+        with pytest.raises(ValueError):
+            retry_with_backoff(flaky, attempts=5, clock=VirtualClock())
+        assert flaky.calls == 1
+
+    def test_deadline_stops_retrying_instead_of_sleeping_past_it(self):
+        clock = VirtualClock()
+        flaky = _Flaky(failures=10)
+        with pytest.raises(TransportError):
+            retry_with_backoff(
+                flaky, attempts=10, clock=clock,
+                policy=BackoffPolicy(base_delay=1.0, multiplier=1.0,
+                                     max_delay=1.0, jitter=0.0),
+                deadline=2.5,
+            )
+        # Pauses at t=0 and t=1 fit; the pause ending at t=3 would cross
+        # the 2.5s deadline, so attempt 3 is the last one made.
+        assert flaky.calls == 3
+        assert clock.now() <= 2.5
+
+    def test_retry_after_attribute_floors_the_pause(self):
+        clock = VirtualClock()
+
+        class _Busy(TransportError):
+            retry_after = 0.9
+
+        flaky = _Flaky(failures=1, exc=_Busy)
+        retry_with_backoff(
+            flaky, attempts=2, clock=clock,
+            policy=BackoffPolicy(base_delay=0.05, max_delay=0.1, jitter=0.0),
+            retryable=(_Busy,),
+        )
+        assert clock.now() == pytest.approx(0.9)
+
+    def test_single_attempt_never_sleeps(self):
+        clock = VirtualClock()
+        with pytest.raises(TransportError):
+            retry_with_backoff(_Flaky(failures=1), attempts=1, clock=clock)
+        assert clock.now() == 0.0
+
+    def test_validates_attempts(self):
+        with pytest.raises(ConfigurationError):
+            retry_with_backoff(lambda: 1, attempts=0)
+
+    def test_deterministic_with_seeded_rng(self):
+        def schedule(seed: int) -> float:
+            clock = VirtualClock()
+            with pytest.raises(TransportError):
+                retry_with_backoff(
+                    _Flaky(failures=10), attempts=5, clock=clock,
+                    rng=random.Random(seed),
+                )
+            return clock.now()
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)

@@ -7,7 +7,10 @@ import threading
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.net import RpcClient, RpcError, RpcRemoteError, RpcServer
+from repro.net.http import HttpResponse
+from repro.net.rpc import RpcBusyError, retry_after_hint
 
 
 def _handlers():
@@ -133,3 +136,94 @@ class TestConnectionErrors:
                 client.call("echo", {"n": 2})
         finally:
             client.close()
+
+
+class TestBoundedAdmission:
+    """``max_inflight`` refuses excess calls with a retryable 503 +
+    Retry-After instead of queueing them behind a saturated handler."""
+
+    def test_busy_refusal_is_rpc_busy_error_with_hint(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow(_payload):
+            entered.set()
+            release.wait(timeout=10.0)
+            return {"ok": True}
+
+        server = RpcServer({"slow": slow}, max_inflight=1,
+                           busy_retry_after=0.25)
+        server.start()
+        try:
+            occupied = RpcClient(server.address)
+            result: dict = {}
+
+            def occupy():
+                result["reply"] = occupied.call("slow")
+
+            thread = threading.Thread(target=occupy)
+            thread.start()
+            assert entered.wait(timeout=10.0)
+            try:
+                with RpcClient(server.address) as client:
+                    with pytest.raises(RpcBusyError) as excinfo:
+                        client.call("slow")
+                assert excinfo.value.status == 503
+                assert excinfo.value.retry_after == pytest.approx(0.25)
+                # Busy is a *transport-shaped* (retryable) error, unlike
+                # the deterministic RpcRemoteError.
+                assert isinstance(excinfo.value, RpcError)
+                assert server.busy_refusals >= 1
+            finally:
+                release.set()
+                thread.join(timeout=10.0)
+                occupied.close()
+            assert result["reply"] == {"ok": True}
+        finally:
+            server.stop()
+
+    def test_slot_is_released_after_completion(self):
+        server = RpcServer(_handlers()[0], max_inflight=1)
+        server.start()
+        try:
+            with RpcClient(server.address) as client:
+                # Sequential calls through a width-1 gate all succeed:
+                # the semaphore is released in the dispatch finally.
+                for i in range(5):
+                    assert client.call("echo", {"n": i})["echo"]["n"] == i
+            assert server.busy_refusals == 0
+        finally:
+            server.stop()
+
+    def test_handler_failure_still_releases_the_slot(self):
+        server = RpcServer(_handlers()[0], max_inflight=1)
+        server.start()
+        try:
+            with RpcClient(server.address) as client:
+                with pytest.raises(RpcRemoteError):
+                    client.call("boom")
+                assert client.call("add", {"a": 1, "b": 1}) == {"sum": 2}
+        finally:
+            server.stop()
+
+    def test_max_inflight_validation(self):
+        with pytest.raises(ConfigurationError):
+            RpcServer(_handlers()[0], max_inflight=0)
+
+
+class TestRetryAfterHint:
+    def test_header_wins_over_payload(self):
+        response = HttpResponse(status=503)
+        response.set_header("Retry-After", "1.5")
+        assert retry_after_hint(response, {"retry_after": 9.0}) == 1.5
+
+    def test_payload_fallback_and_absence(self):
+        assert retry_after_hint(HttpResponse(status=503),
+                                {"retry_after": 0.75}) == 0.75
+        assert retry_after_hint(HttpResponse(status=503), {}) is None
+        assert retry_after_hint(HttpResponse(status=503), None) is None
+
+    def test_malformed_header_is_ignored(self):
+        response = HttpResponse(status=503)
+        response.set_header("Retry-After", "soon")
+        assert retry_after_hint(response, None) is None

@@ -1,0 +1,478 @@
+"""The online serving tier: HTTP contract, degradation ladder, chaos.
+
+Two layers of coverage, mirroring the dispatcher-service test style the
+remote backend uses:
+
+* **Subprocess contract suite** — a real ``python -m repro.dataset
+  serve`` process, driven over real sockets: 200 warm hits whose payload
+  digest is byte-identical to the serial curation path, 429 +
+  ``Retry-After`` on rate-limit refusal, 503 batch shedding under
+  (deterministically pinned) congestion, 504 on deadline expiry, and the
+  same contract under a seeded fault profile.
+* **In-process service tests** — :class:`ServeService` against fake
+  executors and a :class:`VirtualClock` for the paths that need precise
+  control: stale-from-disk degradation, circuit-breaker fallthrough,
+  cooperative deadline cancellation between waves, and the no-admission
+  baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dataset.curation import CurationConfig, shard_config_digest
+from repro.errors import TransportError
+from repro.dataset.sampling import SamplingConfig
+from repro.exec.base import Executor, resolve_executor
+from repro.exec.cache import QueryResultCache
+from repro.exec.remote import _await_worker_banner
+from repro.exec.spec import ShardSpec, run_shard_spec
+from repro.exec.store import DiskShardStore
+from repro.net.clock import VirtualClock
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    Decision,
+    ServeClient,
+    ServeService,
+    shard_payload_digest,
+)
+
+SERVE_WORLD = dict(seed=11, scale=0.02, cities="wichita")
+SERVE_CURATION = dict(fraction=0.05, min_samples=3, workers=5)
+CITY = "wichita"
+ISP = "cox"
+
+
+def _serial_digest(workers: int = SERVE_CURATION["workers"]) -> str:
+    """The correctness oracle: the shard via the serial curation path."""
+    from repro.world import WorldConfig
+
+    world_config = WorldConfig(
+        seed=SERVE_WORLD["seed"], scale=SERVE_WORLD["scale"], cities=(CITY,)
+    )
+    config = CurationConfig(
+        sampling=SamplingConfig(
+            fraction=SERVE_CURATION["fraction"],
+            min_samples=SERVE_CURATION["min_samples"],
+        ),
+        n_workers=workers,
+    )
+    digest = shard_config_digest(world_config, config, CITY, ISP)
+    observations, _wall = run_shard_spec(
+        ShardSpec(
+            world=world_config, city=CITY, isp=ISP,
+            config=config, config_digest=digest,
+        )
+    )
+    return shard_payload_digest(observations)
+
+
+# ----------------------------------------------------------------------
+# Subprocess harness
+# ----------------------------------------------------------------------
+def start_serve_process(extra_args=(), timeout: float = 90.0):
+    """Spawn ``python -m repro.dataset serve`` and wait for its banner."""
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parents[1]
+    existing = os.environ.get("PYTHONPATH", "")
+    env = dict(
+        os.environ,
+        PYTHONPATH=(
+            f"{src_root}{os.pathsep}{existing}" if existing else str(src_root)
+        ),
+    )
+    command = [
+        sys.executable, "-m", "repro.dataset", "serve",
+        "--host", "127.0.0.1", "--port", "0",
+        "--seed", str(SERVE_WORLD["seed"]),
+        "--scale", str(SERVE_WORLD["scale"]),
+        "--cities", SERVE_WORLD["cities"],
+        "--fraction", str(SERVE_CURATION["fraction"]),
+        "--min-samples", str(SERVE_CURATION["min_samples"]),
+        "--workers", str(SERVE_CURATION["workers"]),
+    ] + list(extra_args)
+    proc = subprocess.Popen(
+        command, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+    try:
+        address = _await_worker_banner(proc, timeout)
+    except Exception:
+        proc.terminate()
+        proc.wait(timeout=10.0)
+        raise
+    return proc, address
+
+
+def stop_serve_process(proc) -> None:
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        proc.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:  # pragma: no cover - stuck server
+        proc.kill()
+        proc.wait(timeout=10.0)
+    if proc.stdout is not None:
+        proc.stdout.close()
+
+
+@pytest.fixture(scope="module")
+def serve_endpoint():
+    """One strict (fault-free) serving process shared by contract tests."""
+    proc, address = start_serve_process(["--fault-profile", "off"])
+    yield address
+    stop_serve_process(proc)
+
+
+# ----------------------------------------------------------------------
+# HTTP contract (subprocess)
+# ----------------------------------------------------------------------
+class TestHttpContract:
+    def test_warm_hit_200_with_serial_digest(self, serve_endpoint):
+        with ServeClient(*serve_endpoint, client_id="warm") as client:
+            first = client.query(CITY, ISP)
+            assert first.status == 200
+            body = json.loads(first.text())
+            assert body["source"] == "executed"
+            second = client.query(CITY, ISP)
+            assert second.status == 200
+            warm = json.loads(second.text())
+        assert warm["source"] == "cache"
+        assert second.header("X-Repro-Source") == "cache"
+        assert second.header("X-Repro-Congestion") in (
+            "clear", "precongestion", "overload"
+        )
+        # The acceptance criterion: served payloads are byte-identical to
+        # the serial curation path, digest for digest.
+        oracle = _serial_digest()
+        assert body["digest"] == oracle
+        assert warm["digest"] == oracle
+        assert warm["n_observations"] == body["n_observations"] > 0
+
+    def test_health_and_stats_endpoints(self, serve_endpoint):
+        with ServeClient(*serve_endpoint, client_id="probe") as client:
+            health = client.healthz()
+            assert health.status == 200
+            assert json.loads(health.text())["ok"] is True
+            stats = client.stats()
+            assert stats.status == 200
+            payload = json.loads(stats.text())
+        assert "admission" in payload and "served" in payload
+        assert payload["admission"]["state"] in (
+            "clear", "precongestion", "overload"
+        )
+
+    def test_unknown_city_404_and_missing_params_400(self, serve_endpoint):
+        with ServeClient(*serve_endpoint, client_id="bad") as client:
+            assert client.query("atlantis", ISP).status == 404
+            assert client.query(CITY, "not-an-isp").status == 404
+            assert client.get("/query?city=wichita").status == 400
+            assert client.get("/nowhere").status == 404
+
+    def test_deadline_exceeded_is_504(self, serve_endpoint):
+        # deadline_ms=0 expires before the first execution wave: the
+        # degenerate-but-deterministic end of the cooperative
+        # cancellation path (the mid-flight case is tested in-process
+        # where the clock is controllable).
+        with ServeClient(*serve_endpoint, client_id="hurried") as client:
+            response = client.query(CITY, ISP, deadline_ms=0, force=True)
+            assert response.status == 504
+            body = json.loads(response.text())
+            assert body["completed_chunks"] == 0
+            # The connection survives a 504; a patient retry succeeds.
+            assert client.query(CITY, ISP).status == 200
+
+
+class TestRateLimiting:
+    def test_client_rate_limit_429_with_retry_after(self):
+        proc, address = start_serve_process(
+            ["--fault-profile", "off", "--rate", "1", "--burst", "2"]
+        )
+        try:
+            with ServeClient(*address, client_id="greedy") as client:
+                assert client.query(CITY, ISP).status == 200
+                assert client.query(CITY, ISP).status == 200
+                refused = client.query(CITY, ISP)
+                assert refused.status == 429
+                retry_after = refused.header("Retry-After")
+                assert retry_after is not None and float(retry_after) > 0
+                assert refused.header("X-Repro-Congestion") is not None
+            # A different client identity has its own bucket.
+            with ServeClient(*address, client_id="fresh") as other:
+                assert other.query(CITY, ISP).status == 200
+                # Health probes are never rate-limited.
+                for _ in range(5):
+                    assert other.healthz().status == 200
+        finally:
+            stop_serve_process(proc)
+
+
+class TestCongestionShedding:
+    def test_batch_is_shed_503_while_interactive_hits_survive(self):
+        # --est-cost 1000 makes the first admission flood the virtual
+        # queue: the tier is deterministically in overload for hundreds
+        # of seconds, with zero timing sensitivity.
+        proc, address = start_serve_process(
+            ["--fault-profile", "off", "--est-cost", "1000",
+             "--mark-delay", "0.5", "--shed-delay", "2.0"]
+        )
+        try:
+            with ServeClient(*address, client_id="load") as client:
+                warm = client.query(CITY, ISP)  # trips pre-congestion
+                assert warm.status == 200
+                shed = client.query(CITY, ISP, klass="batch")
+                assert shed.status == 503
+                assert shed.header("Retry-After") is not None
+                assert json.loads(shed.text())["error"] == "shed-batch"
+                assert shed.header("X-Repro-Congestion") in (
+                    "precongestion", "overload"
+                )
+                # Interactive warm hits are still served under overload,
+                # marked with the congestion state.
+                hit = client.query(CITY, ISP)
+                assert hit.status == 200
+                assert hit.header("X-Repro-Congestion") in (
+                    "precongestion", "overload"
+                )
+                assert json.loads(hit.text())["digest"] == _serial_digest()
+        finally:
+            stop_serve_process(proc)
+
+
+class TestChaos:
+    def test_contract_survives_seeded_server_faults(self):
+        """The serving endpoint under the chaos profile: responses are
+        dropped/duplicated/delayed, yet every eventually-served payload
+        is byte-identical to the serial path."""
+        proc, address = start_serve_process(
+            ["--fault-profile", "seed=1305,server.drop=0.15,server.duplicate=0.05"]
+        )
+        oracle = _serial_digest()
+        served = 0
+        try:
+            client = ServeClient(*address, client_id="chaos", timeout=10.0)
+            for _ in range(12):
+                try:
+                    response = client.query(CITY, ISP)
+                except (TransportError, OSError):
+                    client.close()
+                    continue
+                if response.status == 200:
+                    body = json.loads(response.text())
+                    assert body["digest"] == oracle
+                    served += 1
+            client.close()
+        finally:
+            stop_serve_process(proc)
+        assert served >= 3  # loss is loss, but the tier keeps answering
+
+
+# ----------------------------------------------------------------------
+# In-process service tests (controllable clock, fake executors)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serve_world():
+    from repro.world import WorldConfig, build_world
+
+    return build_world(
+        WorldConfig(
+            seed=SERVE_WORLD["seed"], scale=SERVE_WORLD["scale"], cities=(CITY,)
+        )
+    )
+
+
+def _config(workers: int = SERVE_CURATION["workers"]) -> CurationConfig:
+    return CurationConfig(
+        sampling=SamplingConfig(
+            fraction=SERVE_CURATION["fraction"],
+            min_samples=SERVE_CURATION["min_samples"],
+        ),
+        n_workers=workers,
+    )
+
+
+def _admitted(**overrides) -> Decision:
+    defaults = dict(admitted=True, state="clear")
+    defaults.update(overrides)
+    return Decision(**defaults)
+
+
+class _FailingExecutor(Executor):
+    """Every dispatch dies with a transport error (a dead backend)."""
+
+    name = "failing"
+    max_workers = 2
+
+    def map(self, fn, items):
+        raise TransportError("backend unreachable")
+
+
+class _ClockAdvancingExecutor(Executor):
+    """Runs specs for real but charges 1 virtual second per wave call —
+    how the deadline tests make time pass without sleeping."""
+
+    name = "ticking"
+    max_workers = 1
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+
+    def map(self, fn, items):
+        self.clock.sleep(1.0)
+        return [fn(item) for item in items]
+
+
+class TestServeService:
+    def test_stale_from_disk_when_config_digest_changes(self, serve_world, tmp_path):
+        store = DiskShardStore(tmp_path / "store")
+        # Populate the disk tier under the *old* configuration.
+        old = ServeService(
+            serve_world, _config(workers=5),
+            cache=QueryResultCache(store=store),
+            executor=resolve_executor("serial"),
+        )
+        fresh = old.handle(CITY, ISP, _admitted())
+        assert fresh.status == 200 and fresh.source == "executed"
+        old.close()
+        # A new service with a different fleet size: every key misses,
+        # but pre-congestion serves the stale shard instead of recurating.
+        new = ServeService(
+            serve_world, _config(workers=7),
+            cache=QueryResultCache(store=store),
+            executor=resolve_executor("serial"),
+        )
+        result = new.handle(CITY, ISP, _admitted(stale_first=True))
+        assert result.status == 200
+        assert result.source == "stale"
+        assert result.body["digest"] == fresh.body["digest"]
+        # Overload with no stale available refuses 503.
+        refused = new.handle(
+            CITY, "att", _admitted(stale_first=True, refuse_miss=True)
+        )
+        assert refused.status == 503
+        assert refused.retry_after is not None
+        new.close()
+
+    def test_circuit_breaker_opens_and_degrades_to_503(self, serve_world):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_after_s=30.0)
+        service = ServeService(
+            serve_world, _config(),
+            cache=QueryResultCache(),
+            executor=_FailingExecutor(),
+            breaker=breaker,
+            clock=clock,
+        )
+        for _ in range(2):
+            result = service.handle(CITY, ISP, _admitted())
+            assert result.status == 503
+        assert breaker.state == "open"
+        # While open, misses fail fast without touching the executor.
+        result = service.handle(CITY, ISP, _admitted())
+        assert result.status == 503
+        assert result.retry_after == pytest.approx(30.0)
+        assert "circuit open" in result.body["error"]
+        service.close()
+
+    def test_breaker_recovery_after_reset_window(self, serve_world):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=5.0)
+        service = ServeService(
+            serve_world, _config(),
+            cache=QueryResultCache(),
+            executor=resolve_executor("serial"),
+            breaker=breaker,
+            clock=clock,
+        )
+        breaker.record_failure(clock.now())
+        assert breaker.state == "open"
+        clock.sleep(6.0)  # past the reset window: the next call probes
+        result = service.handle(CITY, ISP, _admitted())
+        assert result.status == 200
+        assert breaker.state == "closed"
+        service.close()
+
+    def test_deadline_trips_between_waves(self, serve_world):
+        clock = VirtualClock()
+        service = ServeService(
+            serve_world, _config(),
+            cache=QueryResultCache(),
+            executor=_ClockAdvancingExecutor(clock),
+            clock=clock,
+            chunk_tasks=1,  # one task per chunk: many waves
+        )
+        deadline = Deadline.after(clock.now(), 2.5)
+        result = service.handle(CITY, ISP, _admitted(), deadline=deadline)
+        assert result.status == 504
+        # Two full waves fit in the 2.5s budget; the check before the
+        # third trips.  Partial progress is reported and discarded.
+        assert 0 < result.body["completed_chunks"] < result.body["total_chunks"]
+        assert service.deadline_exceeded == 1
+        # Nothing half-done reached the cache.
+        assert service.cache.stats.stores == 0
+        service.close()
+
+    def test_admission_accounting_pairs_finish(self, serve_world):
+        clock = VirtualClock()
+        admission = AdmissionController(AdmissionConfig(width=2, queue_depth=1))
+        service = ServeService(
+            serve_world, _config(),
+            cache=QueryResultCache(),
+            executor=resolve_executor("serial"),
+            admission=admission,
+            clock=clock,
+        )
+        decision = service.admit("c", ISP, "interactive", clock.now())
+        assert decision.counted
+        assert admission.snapshot(clock.now())["inflight"] == 1
+        result = service.handle(CITY, ISP, decision)
+        assert result.status == 200
+        assert admission.snapshot(clock.now())["inflight"] == 0
+        service.close()
+
+    def test_no_admission_baseline_admits_everything(self, serve_world):
+        service = ServeService(
+            serve_world, _config(),
+            cache=QueryResultCache(),
+            executor=resolve_executor("serial"),
+            admission=None,
+        )
+        for klass in ("interactive", "batch", "health"):
+            decision = service.admit("anyone", ISP, klass, 0.0)
+            assert decision.admitted and not decision.counted
+            assert decision.state == "clear"
+        service.close()
+
+    def test_all_sources_agree_on_the_digest(self, serve_world, tmp_path):
+        """executed, memory-cache, disk-cache, and stale reads of the
+        same shard all carry the identical payload digest."""
+        store = DiskShardStore(tmp_path / "store")
+        cache = QueryResultCache(store=store)
+        service = ServeService(
+            serve_world, _config(),
+            cache=cache,
+            executor=resolve_executor("thread", max_workers=2),
+        )
+        executed = service.handle(CITY, ISP, _admitted())
+        memory = service.handle(CITY, ISP, _admitted())
+        cache.clear()  # drop the memory tier: next hit promotes from disk
+        disk = service.handle(CITY, ISP, _admitted())
+        stale = service.handle(CITY, ISP, _admitted(stale_first=True))
+        digests = {
+            r.body["digest"] for r in (executed, memory, disk, stale)
+        }
+        assert digests == {_serial_digest()}
+        assert executed.source == "executed"
+        assert memory.source == "cache" and disk.source == "cache"
+        assert cache.stats.disk_shard_hits >= 1
+        service.close()
