@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast bench lint experiments
+.PHONY: test test-fast bench bench-cpu lint experiments
 
 ## Full tier-1 suite: every test plus the curation-heavy benchmarks (~5 min).
 test:
@@ -13,6 +13,13 @@ test-fast:
 ## Only the benchmark suite (regenerates benchmarks/output/).
 bench:
 	$(PYTEST) -q benchmarks
+
+## CPU-path gate: columnar/scalar golden parity both ways, then Bench
+## E-X10 (fails if the columnar fast path drops below 2x scalar).
+bench-cpu:
+	REPRO_COLUMNAR=1 $(PYTEST) -q tests/test_columnar.py
+	REPRO_COLUMNAR=0 $(PYTEST) -q tests/test_columnar.py -m "not slow"
+	$(PYTEST) -q -s benchmarks/test_cpu_path.py
 
 ## Syntax/lint gate: ruff when installed, byte-compilation always.
 lint:

@@ -16,5 +16,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy", "scipy"],
+    # numpy >= 1.17 for the Generator API the columnar hot path's
+    # bit-exact draw synthesis is pinned against (repro.dataset.columnar).
+    install_requires=["numpy>=1.17", "scipy"],
 )

@@ -62,6 +62,15 @@ class AddressIndex:
         """Exact lookup after normalization; None if absent."""
         return self._by_key.get(canonical_key(street_line, zip_code))
 
+    def lookup_canonical(self, key: str) -> Address | None:
+        """Exact lookup by an already-computed ``canonical_key``.
+
+        The columnar hot path normalizes each queried address once (the
+        flaky-roll key) and reuses that key here, instead of paying
+        ``canonical_key`` twice per task like ``lookup`` would.
+        """
+        return self._by_key.get(key)
+
     def units_at(self, street_line: str, zip_code: str) -> tuple[Address, ...]:
         """All unit-level records for a building-level street line."""
         building_key = canonical_key(street_line, zip_code)

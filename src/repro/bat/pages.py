@@ -75,8 +75,10 @@ def _page(profile: BatProfile, title: str, body: str) -> str:
 
 
 # The landing page and the technical-error page are pure functions of the
-# profile alone — memoize the whole render.
-@lru_cache(maxsize=None)
+# profile alone — memoize the whole render.  Bounded to a small multiple
+# of the profile count so ad-hoc profiles built by tests or future
+# per-city variants cannot grow the cache without limit.
+@lru_cache(maxsize=32)
 def render_home(profile: BatProfile) -> str:
     """The address-entry form (the BAT landing page)."""
     body = f"""<section class="availability-check">
@@ -242,7 +244,7 @@ Please check the address and try again.</p>
     return _page(profile, "Address not found", body)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=32)
 def render_technical_error(profile: BatProfile) -> str:
     """The BAT's own failure mode (drives the Figure 2a hit-rate spread)."""
     body = """<section class="technical-error">

@@ -178,7 +178,10 @@ BAT_PROFILES: dict[str, BatProfile] = {
 # Memoized: called once per rendered page on the query hot path, and the
 # profile table is immutable after import.  (functools caches only
 # successful calls, so unknown-ISP errors still raise every time.)
-@lru_cache(maxsize=None)
+# Bounded: keys are caller-supplied spellings ("att", "ATT", "AT&T"...),
+# not just the seven canonical names, so paper-scale multi-city runs must
+# not let creative casings grow the table without limit.
+@lru_cache(maxsize=32)
 def profile_for(isp_name: str) -> BatProfile:
     try:
         return BAT_PROFILES[isp_name.lower()]

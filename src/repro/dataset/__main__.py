@@ -43,6 +43,7 @@ from ..world import WorldConfig, build_world
 from .cli import (
     add_backend_arguments,
     add_scheduling_arguments,
+    print_cpu_profile,
     print_run_summary,
     render_store_table,
     resolve_backend_choice,
@@ -100,6 +101,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the query-result cache entirely "
                              "(every shard is replayed)")
+    parser.add_argument("--profile-cpu", action="store_true",
+                        help="run the curation under cProfile and print "
+                             "the top functions by cumulative time plus "
+                             "hot-path memo cache counters")
     add_scheduling_arguments(parser)
     args = parser.parse_args(argv)
     backend = resolve_backend_choice(args)
@@ -134,14 +139,25 @@ def main(argv: list[str] | None = None) -> int:
         chunk_tasks=args.chunk_tasks,
     )
     started = time.time()
+    profiler = None
+    if args.profile_cpu:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     dataset = pipeline.curate(
         isps=tuple(args.isps) if args.isps else None
     )
+    if profiler is not None:
+        profiler.disable()
     counts = dataset.summary_counts()
     print(f"curated {counts['observations']} observations "
           f"({counts['addresses']} addresses, {counts['block_groups']} block "
-          f"groups) in {time.time() - started:.0f}s")
+          f"groups) in {time.time() - started:.0f}s "
+          f"(index build {pipeline.last_run.index_build_s:.2f}s)")
     print_run_summary(pipeline, args.profile_shards)
+    if profiler is not None:
+        print_cpu_profile(profiler)
 
     rows = write_dataset_csv(dataset, args.out)
     print(f"wrote {rows} rows to {args.out}")

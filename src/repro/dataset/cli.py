@@ -24,9 +24,11 @@ from .curation import CurationPipeline, CurationRunReport
 __all__ = [
     "add_backend_arguments",
     "add_scheduling_arguments",
+    "render_cache_stats",
     "render_shard_table",
     "render_store_table",
     "resolve_backend_choice",
+    "print_cpu_profile",
     "print_run_summary",
 ]
 
@@ -202,3 +204,50 @@ def print_run_summary(pipeline: CurationPipeline, profile: bool) -> None:
     if profile:
         print()
         print(render_shard_table(run))
+
+
+def render_cache_stats() -> str:
+    """One ``cache-stats:`` line per memoized hot-path helper.
+
+    Every ``lru_cache`` the single-query CPU path leans on, so a
+    ``--profile-cpu`` run shows at a glance which memos are earning their
+    keep (hits), thrashing (evictions against maxsize), or cold.
+    """
+    from ..bat import pages, profiles
+    from ..core import dom, parsing
+    from ..isp import plans
+    from .columnar import columnar_cache_stats
+
+    stats: dict[str, object] = {
+        "profiles.profile_for": profiles.profile_for.cache_info(),
+        "pages.render_home": pages.render_home.cache_info(),
+        "pages.render_technical_error":
+            pages.render_technical_error.cache_info(),
+        "plans.catalog_for": plans.catalog_for.cache_info(),
+        "plans.dsl_plans": plans.dsl_plans.cache_info(),
+        "plans.fiber_plans": plans.fiber_plans.cache_info(),
+        "parsing.plans_from_markup": parsing.plans_from_markup.cache_info(),
+        "dom.parse_html_cached": dom.parse_html_cached.cache_info(),
+    }
+    stats.update(columnar_cache_stats())
+    width = max(len(name) for name in stats)
+    return "\n".join(
+        f"cache-stats: {name:<{width}}  hits={info.hits} "
+        f"misses={info.misses} size={info.currsize}/{info.maxsize}"
+        for name, info in stats.items()
+    )
+
+
+def print_cpu_profile(profiler, top: int = 25) -> None:
+    """The ``--profile-cpu`` report: pstats top-N + memo cache counters."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    print()
+    print(f"--- cpu profile (top {top} by cumulative time) ---")
+    print(stream.getvalue().rstrip())
+    print()
+    print(render_cache_stats())

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
@@ -253,6 +254,10 @@ class CurationRunReport:
             ``executed_shards`` when nothing chunked, larger otherwise.
         shard_timings: Per-shard wall-time accounting for the dispatched
             shards, in merge order (``--profile-shards`` renders these).
+        index_build_s: Wall time this process spent building city address
+            indexes during the call (coordinator-process scope — workers
+            in other processes build and account their own).  Lets the
+            CPU-path bench attribute time to synthesis vs index vs query.
     """
 
     shards: tuple[tuple[str, str], ...]
@@ -264,6 +269,7 @@ class CurationRunReport:
     schedule: str = "lpt"
     dispatched_units: int = 0
     shard_timings: tuple[ShardTiming, ...] = ()
+    index_build_s: float = 0.0
 
     @property
     def total_shards(self) -> int:
@@ -310,6 +316,15 @@ _ADDRESS_INDEX_MEMO: "OrderedDict[tuple[WorldConfig, str], AddressIndex]" = (
 )
 _ADDRESS_INDEX_MEMO_MAX = 8
 _ADDRESS_INDEX_LOCK = threading.Lock()
+# Cumulative wall time spent building indexes in THIS process, so the
+# run report can attribute index cost separately from query replay.
+_INDEX_BUILD_SECONDS = 0.0
+
+
+def index_build_seconds() -> float:
+    """Cumulative address-index build wall time in this process."""
+    with _ADDRESS_INDEX_LOCK:
+        return _INDEX_BUILD_SECONDS
 
 
 def _city_address_index(
@@ -323,14 +338,18 @@ def _city_address_index(
     Two threads racing on a miss both build equivalent indexes and the
     last write wins — harmless.
     """
+    global _INDEX_BUILD_SECONDS
     key = (world_config, city_world.info.name)
     with _ADDRESS_INDEX_LOCK:
         index = _ADDRESS_INDEX_MEMO.get(key)
         if index is not None:
             _ADDRESS_INDEX_MEMO.move_to_end(key)
             return index
+    started = time.perf_counter()
     index = AddressIndex(tuple(city_world.book.canonical))
+    built = time.perf_counter() - started
     with _ADDRESS_INDEX_LOCK:
+        _INDEX_BUILD_SECONDS += built
         _ADDRESS_INDEX_MEMO[key] = index
         _ADDRESS_INDEX_MEMO.move_to_end(key)
         while len(_ADDRESS_INDEX_MEMO) > _ADDRESS_INDEX_MEMO_MAX:
@@ -347,20 +366,53 @@ def _shard_observations(
 ) -> tuple[AddressObservation, ...]:
     """Execute one (city, ISP) shard against fresh per-shard server state.
 
-    The shard's transport, BAT application, proxy pool and fleet are all
-    constructed here from seeds derived from ``(city, ISP)``, so the
-    returned observations depend only on ``(world_config, city, isp,
+    The returned observations depend only on ``(world_config, city, isp,
     config)`` — never on sibling shards, execution order, or the backend.
     ``tasks`` may be supplied by a caller that already sampled the shard
     (the cache-keying path); it must equal ``_shard_tasks(...)``.
+
+    This is the hot-path dispatcher: shards first try the columnar fast
+    path (:func:`repro.dataset.columnar.run_shard_columnar`), which
+    synthesizes the branch-free majority of tasks as whole-shard numpy
+    operations and replays only DOM-branching tasks through the scalar
+    fleet — byte-identical output either way, pinned by the golden
+    parity suite.  ``REPRO_COLUMNAR=0`` forces everything scalar.
     """
-    city = city_world.info.name
     seed = world_config.seed
     if tasks is None:
         tasks = _shard_tasks(city_world, isp, config.sampling, seed)
     if not tasks:
         return ()
 
+    from .columnar import columnar_enabled, run_shard_columnar
+
+    if columnar_enabled():
+        observations = run_shard_columnar(
+            world_config, city_world, isp, config, tasks
+        )
+        if observations is not None:
+            return observations
+    return _scalar_shard_observations(
+        world_config, city_world, isp, config, tasks
+    )
+
+
+def _scalar_shard_observations(
+    world_config: WorldConfig,
+    city_world: CityWorld,
+    isp: str,
+    config: CurationConfig,
+    tasks: list[NoisyAddress],
+) -> tuple[AddressObservation, ...]:
+    """The scalar replay: a real fleet against fresh per-shard servers.
+
+    The shard's transport, BAT application, proxy pool and fleet are all
+    constructed here from seeds derived from ``(city, ISP)``.  Also the
+    fallback engine for task subsets the columnar path cannot synthesize
+    — per-task content keying makes any subset replay byte-identically.
+    """
+    city = city_world.info.name
+    seed = world_config.seed
     transport = InProcessTransport(
         latency=world_config.latency,
         seed=derive_seed(seed, "curation-transport", city, isp),
@@ -509,6 +561,7 @@ class CurationPipeline:
         (city, ISP) schedule order, so the record order — like the records
         themselves — is independent of the execution backend.
         """
+        index_build_start = index_build_seconds()
         target_cities = cities if cities is not None else tuple(self._world.cities)
         shards: list[tuple[str, str]] = []
         for city in target_cities:
@@ -599,6 +652,7 @@ class CurationPipeline:
             schedule=self.schedule,
             dispatched_units=dispatched_units,
             shard_timings=timings,
+            index_build_s=index_build_seconds() - index_build_start,
         )
         merged: list[AddressObservation] = []
         for index in range(len(plans)):

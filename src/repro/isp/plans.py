@@ -188,8 +188,9 @@ PLAN_CATALOGS: dict[str, tuple[Plan, ...]] = {
 
 # Memoized: the catalogs are immutable module constants consulted on
 # every offer resolution, so the dict probe + error handling is pure
-# overhead after the first call per ISP.
-@lru_cache(maxsize=None)
+# overhead after the first call per ISP.  Bounded because the keys are
+# caller-supplied spellings, not the canonical lowercase names.
+@lru_cache(maxsize=32)
 def catalog_for(isp_name: str) -> tuple[Plan, ...]:
     """The full national plan catalog of one ISP."""
     try:
@@ -198,11 +199,11 @@ def catalog_for(isp_name: str) -> tuple[Plan, ...]:
         raise IspError(f"no plan catalog for ISP {isp_name!r}") from None
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=32)
 def dsl_plans(isp_name: str) -> tuple[Plan, ...]:
     return tuple(p for p in catalog_for(isp_name) if p.technology == TECH_DSL)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=32)
 def fiber_plans(isp_name: str) -> tuple[Plan, ...]:
     return tuple(p for p in catalog_for(isp_name) if p.technology == TECH_FIBER)

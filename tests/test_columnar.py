@@ -1,0 +1,361 @@
+"""The columnar fast path, locked down by golden digests and properties.
+
+Three layers of guarantees:
+
+* **Golden parity** — the pinned seed configurations must produce the
+  checked-in digests with the columnar path forced on and forced off,
+  cold, warm-from-disk, and incrementally re-curated, on every backend
+  including remote worker processes.  The fast path is only allowed to
+  exist because these stay byte-identical.
+* **Record-level parity** — shard observations compare equal object by
+  object (not just digest) between the two paths, so a digest collision
+  can never mask a drift.
+* **Properties (hypothesis)** — columnar<->record round-trips are
+  lossless, the columnar digest matches the record-based dataset digest
+  on arbitrary observations, batch hashing matches the scalar hash on
+  arbitrary strings, and the vectorized RNG synthesis reproduces the
+  scalar draw sequences element for element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import CurationConfig, CurationPipeline, SamplingConfig
+from repro.dataset.columnar import (
+    COLUMNAR_ENV,
+    ColumnarShard,
+    columnar_enabled,
+    hash_address_ids,
+    run_shard_columnar,
+)
+from repro.dataset.container import BroadbandDataset
+from repro.dataset.curation import (
+    _scalar_shard_observations,
+    _shard_observations,
+    _shard_tasks,
+    hash_address_id,
+)
+from repro.dataset.records import AddressObservation, PlanObservation
+from repro.exec import DiskShardStore, QueryResultCache
+from repro.net.latency import LatencyModel
+from repro.world import WorldConfig, build_world
+
+BACKENDS = ["serial", "thread", "process", "async"]
+
+SMALL_CONFIG = CurationConfig(
+    sampling=SamplingConfig(fraction=0.10, min_samples=5), n_workers=10
+)
+
+# The pinned digests from tests/test_cache_persistence.py: the columnar
+# path must hit the identical bytes.  (Redefined here — the suites stay
+# independently runnable.)
+GOLDEN_WICHITA_SEED5 = (
+    "20a00c4197b018f9ded3132e95bf1d372ad7d98e87945cc4a7fde6f8a8640def"
+)
+GOLDEN_NOLA_SEED42 = (
+    "15d190878bef7e483cf7c5e82059222566074b6a293edba3245562055c3d67a0"
+)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_world(WorldConfig(seed=5, scale=0.05, cities=("wichita",)))
+
+
+@pytest.fixture
+def columnar_on(monkeypatch):
+    monkeypatch.setenv(COLUMNAR_ENV, "1")
+
+
+@pytest.fixture
+def columnar_off(monkeypatch):
+    monkeypatch.setenv(COLUMNAR_ENV, "0")
+
+
+# ----------------------------------------------------------------------
+# The environment gate
+# ----------------------------------------------------------------------
+class TestGate:
+    @pytest.mark.parametrize("value", ["0", "off", "OFF", "False", " no "])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(COLUMNAR_ENV, value)
+        assert not columnar_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "on", "yes", "", "anything"])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(COLUMNAR_ENV, value)
+        assert columnar_enabled()
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv(COLUMNAR_ENV, raising=False)
+        assert columnar_enabled()
+
+    def test_pacing_gates_whole_shard(self, small_world):
+        """A paced shard must decline the fast path (it never sleeps)."""
+        from dataclasses import replace
+
+        world_config = small_world.config
+        city_world = small_world.city("wichita")
+        config = replace(SMALL_CONFIG, pacing_time_scale=8e-5)
+        tasks = _shard_tasks(city_world, "cox", config.sampling, 5)
+        assert (
+            run_shard_columnar(world_config, city_world, "cox", config, tasks)
+            is None
+        )
+
+
+# ----------------------------------------------------------------------
+# Golden parity, fast tier
+# ----------------------------------------------------------------------
+def test_cold_run_golden_columnar_on(small_world, columnar_on):
+    dataset = CurationPipeline(small_world, SMALL_CONFIG).curate()
+    assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+
+
+def test_cold_run_golden_columnar_off(small_world, columnar_off):
+    dataset = CurationPipeline(small_world, SMALL_CONFIG).curate()
+    assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+
+
+def test_shard_observations_identical_records(small_world, monkeypatch):
+    """Object-level parity per shard: equality of every observation, both
+    ISPs, not just of the dataset digest."""
+    world_config = small_world.config
+    city_world = small_world.city("wichita")
+    for isp in city_world.info.isps:
+        monkeypatch.setenv(COLUMNAR_ENV, "1")
+        fast = _shard_observations(world_config, city_world, isp, SMALL_CONFIG)
+        monkeypatch.setenv(COLUMNAR_ENV, "0")
+        slow = _shard_observations(world_config, city_world, isp, SMALL_CONFIG)
+        assert fast == slow
+        # The fast path must actually have synthesized something here,
+        # or this parity test is vacuous.
+        assert len(fast) > 0
+
+
+def test_fallback_subset_matches_full_scalar(small_world):
+    """The scalar engine replays any task subset byte-identically — the
+    property the columnar path's ineligible-task fallback rests on."""
+    world_config = small_world.config
+    city_world = small_world.city("wichita")
+    tasks = _shard_tasks(city_world, "att", SMALL_CONFIG.sampling, 5)
+    full = _scalar_shard_observations(
+        world_config, city_world, "att", SMALL_CONFIG, tasks
+    )
+    subset = [tasks[i] for i in range(1, len(tasks), 3)]
+    replayed = _scalar_shard_observations(
+        world_config, city_world, "att", SMALL_CONFIG, subset
+    )
+    assert replayed == tuple(full[i] for i in range(1, len(tasks), 3))
+
+
+# ----------------------------------------------------------------------
+# Golden parity, full matrix (slow tier)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("columnar", ["0", "1"])
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestGoldenParityMatrix:
+    def test_cold_run(self, small_world, backend, columnar, monkeypatch):
+        monkeypatch.setenv(COLUMNAR_ENV, columnar)
+        dataset = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend
+        ).curate()
+        assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+
+    def test_warm_disk_run(
+        self, small_world, backend, columnar, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(COLUMNAR_ENV, columnar)
+        cold_cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        cold = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend, cache=cold_cache
+        )
+        assert cold.curate().content_digest() == GOLDEN_WICHITA_SEED5
+        assert cold.last_run.replayed_queries > 0
+
+        warm_cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        warm = CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend, cache=warm_cache
+        )
+        assert warm.curate().content_digest() == GOLDEN_WICHITA_SEED5
+        assert warm.last_run.replayed_queries == 0
+
+    def test_incremental_run(
+        self, small_world, backend, columnar, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(COLUMNAR_ENV, columnar)
+        cache = QueryResultCache(store=DiskShardStore(tmp_path / "c"))
+        CurationPipeline(
+            small_world, SMALL_CONFIG, executor=backend, cache=cache
+        ).curate()
+
+        changed = SMALL_CONFIG.with_isp_override("cox", politeness_seconds=4.0)
+        pipeline = CurationPipeline(
+            small_world, changed, executor=backend, cache=cache
+        )
+        incremental = pipeline.curate()
+        assert pipeline.last_run.executed_shards == 1
+        assert pipeline.last_run.cached_shards == 1
+        scratch = CurationPipeline(small_world, changed).curate()
+        assert incremental.observations == scratch.observations
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("columnar", ["0", "1"])
+class TestRemoteGoldenParity:
+    """Remote worker processes inherit the coordinator's REPRO_COLUMNAR
+    at spawn, so each parametrization boots its own loopback fleet."""
+
+    def test_cold_run(self, small_world, columnar, monkeypatch):
+        from repro.exec import DistributedExecutor, local_worker_pool
+
+        monkeypatch.setenv(COLUMNAR_ENV, columnar)
+        with local_worker_pool(count=2, width=2) as addresses:
+            dataset = CurationPipeline(
+                small_world,
+                SMALL_CONFIG,
+                executor=DistributedExecutor(workers=addresses),
+            ).curate()
+        assert dataset.content_digest() == GOLDEN_WICHITA_SEED5
+
+
+# ----------------------------------------------------------------------
+# The columnar container: lossless round-trips (hypothesis)
+# ----------------------------------------------------------------------
+# Fixed-width numpy unicode columns cannot represent *trailing* NUL
+# codepoints (they read back stripped); no real column value contains a
+# NUL, so strategies exclude it rather than paper over it in the codec.
+# Lone surrogates are excluded too: both digests (columnar and record)
+# UTF-8-encode and would raise identically on them.
+_text = st.text(
+    alphabet=st.characters(
+        blacklist_characters="\x00", blacklist_categories=("Cs",)
+    ),
+    max_size=24,
+)
+_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+_plan = st.builds(
+    PlanObservation,
+    name=_text,
+    download_mbps=_floats,
+    upload_mbps=_floats,
+    monthly_price=_floats,
+)
+_observation = st.builds(
+    AddressObservation,
+    address_id=_text,
+    city=_text,
+    block_group=_text,
+    isp=_text,
+    status=_text,
+    plans=st.tuples() | st.tuples(_plan) | st.tuples(_plan, _plan),
+    elapsed_seconds=_floats,
+)
+_observations = st.lists(_observation, max_size=12).map(tuple)
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations=_observations)
+def test_round_trip_is_lossless(observations):
+    shard = ColumnarShard.from_records(observations)
+    assert len(shard) == len(observations)
+    assert shard.to_records() == observations
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations=_observations)
+def test_columnar_digest_matches_dataset_digest(observations):
+    shard = ColumnarShard.from_records(observations)
+    assert shard.content_digest() == BroadbandDataset(observations).content_digest()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.text(max_size=40).filter(lambda s: "|" not in s),
+            st.text(max_size=10).filter(lambda s: "|" not in s),
+        ),
+        max_size=20,
+    ),
+    salt=st.text(max_size=16).filter(lambda s: "|" not in s),
+)
+def test_batch_hash_matches_scalar(pairs, salt):
+    streets = [street for street, _ in pairs]
+    zips = [zip5 for _, zip5 in pairs]
+    assert hash_address_ids(streets, zips, salt) == [
+        hash_address_id(street, zip5, salt)
+        for street, zip5 in zip(streets, zips)
+    ]
+
+
+# ----------------------------------------------------------------------
+# RNG synthesis equivalence (hypothesis)
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**63 - 1),
+       k=st.integers(min_value=0, max_value=8))
+def test_batched_normals_match_sequential_draws(seed, k):
+    """standard_normal(k) is the same stream as k scalar draws — the fact
+    that lets one vectorized call per task replace per-request draws."""
+    batched = np.random.default_rng(seed).standard_normal(k)
+    rng = np.random.default_rng(seed)
+    sequential = [rng.standard_normal() for _ in range(k)]
+    assert batched.tolist() == sequential
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**63 - 1),
+       base=st.floats(min_value=0.001, max_value=5.0),
+       sigma=st.floats(min_value=0.0, max_value=3.0),
+       k=st.integers(min_value=1, max_value=8))
+def test_vectorized_rtt_matches_sample_rtt(seed, base, sigma, k):
+    """base * exp(sigma * z) vectorized == sample_rtt per element, bitwise."""
+    model = LatencyModel(base_rtt=base, sigma=sigma)
+    rng = np.random.default_rng(seed)
+    scalar = [model.sample_rtt(rng) for _ in range(k)]
+    z = np.random.default_rng(seed).standard_normal(k)
+    vectorized = model.base_rtt * np.exp(model.sigma * z)
+    assert vectorized.tolist() == scalar
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**63 - 1),
+       median=st.floats(min_value=0.0, max_value=120.0),
+       sigma=st.floats(min_value=0.0, max_value=1.0),
+       k=st.integers(min_value=1, max_value=8))
+def test_vectorized_render_delay_matches_scalar(seed, median, sigma, k):
+    """round(median * exp(sigma*z), 3) on vectorized spreads == the app's
+    per-request _render_delay arithmetic."""
+    rng = np.random.default_rng(seed)
+    scalar = [
+        round(median * float(np.exp(sigma * rng.standard_normal())), 3)
+        for _ in range(k)
+    ]
+    spreads = np.exp(sigma * np.random.default_rng(seed).standard_normal(k))
+    vectorized = [
+        round(median * spread, 3) for spread in spreads.tolist()
+    ]
+    assert vectorized == scalar
+
+
+# ----------------------------------------------------------------------
+# Run-report instrumentation
+# ----------------------------------------------------------------------
+def test_index_build_time_is_recorded():
+    """A cold city records index-build wall time; a rerun on the memoized
+    index records (approximately) none."""
+    world = build_world(WorldConfig(seed=987, scale=0.02, cities=("wichita",)))
+    cold = CurationPipeline(world, SMALL_CONFIG)
+    cold.curate(isps=("cox",))
+    assert cold.last_run.index_build_s > 0.0
+
+    warm = CurationPipeline(world, SMALL_CONFIG)
+    warm.curate(isps=("cox",))
+    assert warm.last_run.index_build_s == 0.0
